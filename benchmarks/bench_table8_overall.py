@@ -1,0 +1,156 @@
+"""Table 8 — overall comparison: BaselineP / BaselineI / BaselineU / SIEVE
+across Q1, Q2, Q3 at low/mid/high selectivity (paper Experiment 3).
+
+Paper shapes to reproduce:
+* BaselineP and BaselineU degrade sharply with query cardinality
+  (they read tuples via the query predicate, then pay per-tuple policy
+  work; BaselineU adds a UDF invocation per tuple);
+* BaselineI is flat across cardinalities (reads via policy indexes);
+* SIEVE is flat *and* the fastest everywhere.
+
+Times are wall-clock ms; shapes are asserted on deterministic cost
+units.  The paper's 30 s timeout is represented by the ``+`` suffix
+(soft timeout) rather than killed runs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.results import format_table, write_result
+from repro.bench.runner import EngineRun, measure_engine
+from repro.core import BaselineI, BaselineP, BaselineU
+from repro.datasets.workload import QueryWorkload, Selectivity
+
+ENGINES = ("BaselineP", "BaselineI", "BaselineU", "SIEVE")
+PURPOSE = "analytics"
+
+
+def run_grid(world, queriers, per_cell: int = 1, seed: int = 17):
+    """The full (template × selectivity × engine) measurement grid."""
+    wl = QueryWorkload(world.dataset, seed=seed)
+    baselines = {
+        "BaselineP": BaselineP(world.db, world.store),
+        "BaselineI": BaselineI(world.db, world.store),
+        "BaselineU": BaselineU(world.db, world.store),
+    }
+    grid: dict[tuple[str, str, str], EngineRun] = {}
+    for template in ("Q1", "Q2", "Q3"):
+        for selectivity in Selectivity:
+            queries = wl.generate(template, selectivity, per_cell)
+            for engine_name in ENGINES:
+                total_ms = total_cost = total_rows = 0.0
+                timed_out = False
+                for query in queries:
+                    for querier in queriers:
+                        if engine_name == "SIEVE":
+                            fn = lambda q=query, u=querier: world.sieve.execute(
+                                q.sql, u, PURPOSE
+                            )
+                        else:
+                            engine = baselines[engine_name]
+                            fn = lambda q=query, u=querier, e=engine: e.execute(
+                                q.sql, u, PURPOSE
+                            )
+                        measured = measure_engine(
+                            engine_name, world.db, fn, repeats=1,
+                            soft_timeout_s=30.0, warmup=True,
+                        )
+                        total_ms += measured.wall_ms
+                        total_cost += measured.cost_units
+                        total_rows += measured.rows
+                        timed_out |= measured.timed_out
+                n = len(queries) * len(queriers)
+                grid[(template, selectivity.value, engine_name)] = EngineRun(
+                    engine=engine_name,
+                    wall_ms=total_ms / n,
+                    cost_units=total_cost / n,
+                    rows=int(total_rows / n),
+                    timed_out=timed_out,
+                )
+    return grid
+
+
+def render_grid(grid, metric: str = "wall_ms"):
+    rows = []
+    for template in ("Q1", "Q2", "Q3"):
+        for sel in ("low", "mid", "high"):
+            row = [template, sel]
+            for engine in ENGINES:
+                run = grid[(template, sel, engine)]
+                value = getattr(run, metric)
+                text = f"{value:,.1f}"
+                if run.timed_out:
+                    text += "+"
+                row.append(text)
+            rows.append(row)
+    return format_table(["query", "ρ(Q)", *ENGINES], rows)
+
+
+def test_table8_overall_comparison(benchmark, campus_mysql):
+    world = campus_mysql
+    queriers = [
+        world.campus.designated_queriers["faculty"][0],
+        world.campus.designated_queriers["grad"][0],
+    ]
+    holder = {}
+
+    def run():
+        holder["grid"] = run_grid(world, queriers)
+        return holder["grid"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    grid = holder["grid"]
+
+    table_ms = render_grid(grid, "wall_ms")
+    table_cost = render_grid(grid, "cost_units")
+    write_result(
+        "table8_overall",
+        "Table 8 — overall comparison (Q1/Q2/Q3 × selectivity × engine)",
+        table_ms + "\n\n### Deterministic cost units\n\n" + table_cost,
+        data={f"{k[0]}-{k[1]}-{k[2]}": vars(v) for k, v in grid.items()},
+        notes=(
+            "Paper shapes: BaselineP/BaselineU grow with query cardinality "
+            "(TO at high), BaselineI flat, SIEVE flat and fastest. The Python "
+            "engine's UDF dispatch is much cheaper than a real DBMS's, so "
+            "BaselineU's wall-clock penalty shows mainly in cost units "
+            "(udf_invocation-weighted), matching the paper's ordering."
+        ),
+    )
+
+    # --- shape assertions on cost units -----------------------------------
+    for template in ("Q1", "Q2", "Q3"):
+        p_low = grid[(template, "low", "BaselineP")].cost_units
+        p_high = grid[(template, "high", "BaselineP")].cost_units
+        assert p_high >= p_low, f"{template}: BaselineP should degrade with cardinality"
+        u_low = grid[(template, "low", "BaselineU")].cost_units
+        u_high = grid[(template, "high", "BaselineU")].cost_units
+        assert u_high >= u_low, f"{template}: BaselineU should degrade with cardinality"
+        # BaselineU's per-tuple UDF invocations make it the worst rewrite
+        # at high cardinality (paper: TO everywhere at high).
+        assert u_high >= p_high, f"{template}: BaselineU should trail BaselineP at high"
+
+    # BaselineI reads via the policy indexes: flat across cardinalities.
+    base_i = [
+        grid[(t, s, "BaselineI")].cost_units
+        for t in ("Q1", "Q2", "Q3")
+        for s in ("low", "mid", "high")
+    ]
+    assert max(base_i) <= min(base_i) * 1.5, "BaselineI should be flat"
+
+    # SIEVE never loses to the predicate-driven rewrites.
+    for template in ("Q1", "Q2", "Q3"):
+        for sel in ("low", "mid", "high"):
+            sieve = grid[(template, sel, "SIEVE")].cost_units
+            for other in ("BaselineP", "BaselineU"):
+                rival = grid[(template, sel, other)].cost_units
+                assert sieve <= rival * 1.25, (
+                    f"{template}/{sel}: SIEVE ({sieve:.0f}) should not lose to "
+                    f"{other} ({rival:.0f})"
+                )
+    # At low cardinality SIEVE also beats BaselineI's fixed per-policy
+    # scan cost. (At bench scale — a ~100-page table — BaselineI stays
+    # competitive at high cardinality, unlike on the paper's 3.9M-row
+    # table; see EXPERIMENTS.md.)
+    for template in ("Q1", "Q2"):
+        sieve = grid[(template, "low", "SIEVE")].cost_units
+        rival = grid[(template, "low", "BaselineI")].cost_units
+        assert sieve <= rival * 1.25

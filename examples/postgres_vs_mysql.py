@@ -1,0 +1,50 @@
+"""Personality face-off: the same Sieve rewrite on MySQL vs PostgreSQL.
+
+Shows the Section 5.3 difference concretely: MySQL gets a UNION of
+FORCE INDEX scans; PostgreSQL gets one SELECT whose optimizer builds a
+BitmapOr over the guard indexes — and the resulting plans/costs.
+
+Run:  python examples/postgres_vs_mysql.py
+"""
+
+from repro import connect
+from repro.bench.scenarios import policies_for_querier
+from repro.core import Sieve
+from repro.datasets import TippersConfig, generate_tippers
+from repro.policy import PolicyStore
+
+
+def build(personality: str):
+    dataset = generate_tippers(
+        TippersConfig(n_devices=300, days=20, seed=5, personality=personality)
+    )
+    store = PolicyStore(dataset.db, dataset.groups)
+    store.insert_many(policies_for_querier(dataset, "analyst", 60, seed=3))
+    sieve = Sieve(dataset.db, store)
+    return dataset, store, sieve
+
+
+def main() -> None:
+    sql = "SELECT * FROM WiFi_Dataset"
+    for personality in ("mysql", "postgres"):
+        dataset, store, sieve = build(personality)
+        print(f"\n================ {personality.upper()} ================")
+        rewritten = sieve.rewritten_sql(sql, "analyst", "analytics")
+        print("rewritten SQL (truncated):")
+        print(" ", rewritten[:400], "...")
+
+        rewritten_ast = sieve.rewrite(sql, "analyst", "analytics")
+        print("\nplan:")
+        print(dataset.db.explain(rewritten_ast).render())
+
+        dataset.db.reset_counters()
+        result = sieve.execute(sql, "analyst", "analytics")
+        c = dataset.db.counters
+        print(f"\nrows: {len(result)}")
+        print(f"pages: sequential={c.pages_sequential} random={c.pages_random} "
+              f"bitmap={c.pages_bitmap}")
+        print(f"cost units: {c.cost_units:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

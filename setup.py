@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package (offline), so PEP 660 editable
+installs fail with "invalid command 'bdist_wheel'".  Keeping a
+setup.py lets ``pip install -e .`` take the legacy ``setup.py develop``
+path, which needs nothing beyond setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — a full reproduction of SIEVE (VLDB 2020).
+
+Sieve is a middleware that enforces very large corpora of fine-grained
+access-control policies during query execution by (1) compiling
+policies into index-friendly *guarded expressions* and (2) filtering
+the policies checked per tuple via query metadata and a Δ (delta) UDF.
+
+Public entry points:
+
+* :func:`repro.db.connect` — the bundled relational engine (MySQL /
+  PostgreSQL personalities).
+* :class:`repro.core.Sieve` — the middleware itself.
+* :mod:`repro.datasets` — TIPPERS and Mall synthetic dataset/policy
+  generators used by the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.db import connect, Database
+
+__all__ = ["connect", "Database", "__version__"]

@@ -1,0 +1,48 @@
+"""Benchmark result persistence and formatting.
+
+Every experiment writes a Markdown table plus the raw data as JSON to
+``benchmarks/results/`` so EXPERIMENTS.md can reference regenerated
+numbers, and prints the table so it shows up in bench logs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A GitHub-Markdown table."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:,.2f}"
+        return str(value)
+
+    head = "| " + " | ".join(headers) + " |"
+    sep = "| " + " | ".join("---" for _ in headers) + " |"
+    body = ["| " + " | ".join(fmt(v) for v in row) + " |" for row in rows]
+    return "\n".join([head, sep, *body])
+
+
+def write_result(
+    name: str,
+    title: str,
+    table: str,
+    data: Any = None,
+    notes: str = "",
+) -> pathlib.Path:
+    """Persist one experiment's output; returns the markdown path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    md_path = RESULTS_DIR / f"{name}.md"
+    parts = [f"# {title}", "", table]
+    if notes:
+        parts += ["", notes]
+    text = "\n".join(parts) + "\n"
+    md_path.write_text(text)
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(json.dumps(data, indent=2, default=str))
+    print(f"\n{text}")
+    return md_path

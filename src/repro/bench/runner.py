@@ -1,0 +1,75 @@
+"""Measuring one enforcement engine on one query.
+
+Captures wall-clock time *and* the deterministic counter diff, so
+benches can report both (the paper reports milliseconds; the shapes
+are asserted on cost units, which don't depend on interpreter noise).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.db.counters import CounterSet
+
+
+@dataclass
+class EngineRun:
+    engine: str
+    wall_ms: float
+    cost_units: float
+    rows: int
+    counters: dict[str, int] = field(default_factory=dict)
+    timed_out: bool = False
+
+    def row(self) -> list[Any]:
+        label = f"{self.wall_ms:,.1f}"
+        if self.timed_out:
+            label += "+"
+        return [self.engine, label, f"{self.cost_units:,.0f}", self.rows]
+
+
+def measure_engine(
+    name: str,
+    db,
+    run: Callable[[], Any],
+    repeats: int = 1,
+    soft_timeout_s: float | None = None,
+    warmup: bool = False,
+) -> EngineRun:
+    """Run ``run`` ``repeats`` times; report average warm wall time and
+    the per-run counter diff (like the paper's warm-performance runs).
+
+    ``warmup=True`` executes once unmeasured first — this is how the
+    paper reports "warm performance": one-time work (guard generation,
+    statistics) happens offline, not inside the measured query.
+
+    ``soft_timeout_s`` mimics the paper's TO marker: runs are never
+    interrupted, but a run exceeding the limit is flagged (reported
+    with a ``+`` suffix, matching the paper's ``t+`` notation).
+    """
+    if warmup:
+        run()
+    wall_total = 0.0
+    result_rows = 0
+    before = db.counters.snapshot()
+    timed_out = False
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        wall_total += elapsed
+        if soft_timeout_s is not None and elapsed > soft_timeout_s:
+            timed_out = True
+        result_rows = len(result) if result is not None else 0
+    diff = db.counters.diff(before)
+    per_run = {k: v // max(1, repeats) for k, v in diff.items()}
+    return EngineRun(
+        engine=name,
+        wall_ms=(wall_total / max(1, repeats)) * 1000.0,
+        cost_units=CounterSet.cost_of(per_run),
+        rows=result_rows,
+        counters=per_run,
+        timed_out=timed_out,
+    )

@@ -1,0 +1,184 @@
+"""Cached benchmark scenarios.
+
+Building a bench-scale campus (tens of thousands of events, thousands
+of policies) takes seconds; every bench module shares the same cached
+worlds within a pytest session.  Scale constants are chosen so the
+whole `pytest benchmarks/ --benchmark-only` run finishes in minutes on
+a laptop while preserving the paper's result shapes (EXPERIMENTS.md
+documents the scale-down ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
+from repro.common.rng import make_rng
+from repro.core.middleware import Sieve
+from repro.datasets.mall import MallConfig, MallDataset, generate_mall
+from repro.datasets.policies import (
+    PURPOSES,
+    CampusPolicies,
+    PolicyGenConfig,
+    generate_campus_policies,
+)
+from repro.datasets.tippers import (
+    TippersConfig,
+    TippersDataset,
+    WIFI_TABLE,
+    generate_tippers,
+)
+from repro.policy.model import ObjectCondition, Policy
+from repro.policy.store import PolicyStore
+
+# Bench scale (paper scale in parentheses): 800 devices (36,436),
+# 40 days (~90), ~30k events (3.9M).
+BENCH_DEVICES = 800
+BENCH_DAYS = 40
+
+
+@dataclass
+class BenchWorld:
+    dataset: TippersDataset
+    campus: CampusPolicies
+    store: PolicyStore
+    sieve: Sieve
+
+    @property
+    def db(self):
+        return self.dataset.db
+
+
+@lru_cache(maxsize=4)
+def bench_tippers(personality: str = "mysql", seed: int = 7) -> BenchWorld:
+    """The shared campus world for one personality."""
+    dataset = generate_tippers(
+        TippersConfig(
+            seed=seed,
+            n_devices=BENCH_DEVICES,
+            days=BENCH_DAYS,
+            personality=personality,
+        )
+    )
+    campus = generate_campus_policies(dataset, PolicyGenConfig(seed=seed + 1))
+    store = PolicyStore(dataset.db, dataset.groups)
+    store.insert_many(campus.policies)
+    sieve = Sieve(dataset.db, store)
+    return BenchWorld(dataset=dataset, campus=campus, store=store, sieve=sieve)
+
+
+@lru_cache(maxsize=2)
+def bench_mall(personality: str = "postgres", seed: int = 13) -> MallDataset:
+    return generate_mall(
+        MallConfig(seed=seed, n_customers=900, days=25, personality=personality)
+    )
+
+
+def policies_for_querier(
+    dataset: TippersDataset,
+    querier: Any,
+    count: int,
+    purpose: str = "analytics",
+    seed: int = 31,
+) -> list[Policy]:
+    """Synthesize exactly ``count`` policies naming one querier.
+
+    Used by the cumulative-policy-set sweeps (Experiments 4-5): the
+    paper selects queriers with >=300 (TIPPERS) / >=1,200 (Mall)
+    policies and grows the set in increments.
+
+    The structure mirrors the paper's corpus: a querier's policies
+    come from a bounded *community* (students of the same classes /
+    building region), so owners repeat (~6 policies each — the paper's
+    mean partition is 7) and conditions share canonical time windows
+    (class slots) and the community's APs — exactly the sharing that
+    makes guard grouping effective.
+    """
+    rng = make_rng(seed, f"per-querier-{querier}-{count}")
+    community_size = max(3, count // 6)
+    community = rng.sample(dataset.devices, min(community_size, len(dataset.devices)))
+    # Canonical "class slot" windows shared across the community.
+    slots = [(480 + 90 * i, 480 + 90 * i + rng.choice((50, 80, 110))) for i in range(8)]
+    days = dataset.config.days
+    date_slots = [
+        (s, min(days - 1, s + rng.choice((7, 14))))
+        for s in range(0, max(1, days - 7), max(1, days // 5))
+    ]
+    out: list[Policy] = []
+    for _ in range(count):
+        owner = rng.choice(community)
+        conditions = [ObjectCondition("owner", "=", owner)]
+        kind = rng.random()
+        if kind < 0.45:
+            lo, hi = rng.choice(slots)
+            conditions.append(ObjectCondition("ts_time", ">=", lo, "<=", hi))
+        elif kind < 0.7 and date_slots:
+            d1, d2 = rng.choice(date_slots)
+            conditions.append(ObjectCondition("ts_date", ">=", d1, "<=", d2))
+        elif kind < 0.9:
+            home = dataset.region_aps[dataset.affinity_region[owner]]
+            conditions.append(ObjectCondition("wifiAP", "=", rng.choice(home)))
+        # else: owner-only policy
+        out.append(
+            Policy(
+                owner=owner,
+                querier=querier,
+                purpose=purpose,
+                table=WIFI_TABLE,
+                object_conditions=tuple(conditions),
+            )
+        )
+    return out
+
+
+def mall_policies_for_shop(
+    mall: MallDataset, shop: int, count: int, seed: int = 47
+) -> list[Policy]:
+    """Exactly ``count`` policies naming one shop as querier (Exp. 5).
+
+    A shop's policies come from its *customer community* — primarily
+    the customers whose favourite shops include it — so owners repeat
+    and guard partitions group, as in the campus corpus.
+    """
+    rng = make_rng(seed, f"mall-shop-{shop}-{count}")
+    querier = mall.shop_querier(shop)
+    visitors = sorted(
+        c for c, favorites in mall.favorite_shops.items() if shop in favorites
+    )
+    everyone = sorted(mall.customer_kind)
+    community_size = max(20, count // 6)
+    community = list(visitors[:community_size])
+    filler = [c for c in everyone if c not in set(community)]
+    rng.shuffle(filler)
+    community.extend(filler[: max(0, community_size - len(community))])
+    days = mall.config.days
+    out: list[Policy] = []
+    for _ in range(count):
+        owner = rng.choice(community)
+        conditions = [ObjectCondition("owner", "=", owner)]
+        if rng.random() < 0.5:
+            start = rng.randrange(600, 1200)
+            conditions.append(
+                ObjectCondition("ts_time", ">=", start, "<=", min(1439, start + rng.randrange(60, 240)))
+            )
+        else:
+            start = rng.randrange(0, max(1, days - 4))
+            conditions.append(
+                ObjectCondition("ts_date", ">=", start, "<=", min(days - 1, start + rng.randrange(2, 10)))
+            )
+        out.append(
+            Policy(
+                owner=owner,
+                querier=querier,
+                purpose="any",
+                table="WiFi_Connectivity",
+                object_conditions=tuple(conditions),
+            )
+        )
+    return out
+
+
+def designated_querier(world: BenchWorld, profile: str = "faculty", rank: int = 0):
+    """A benchmark querier of the given profile with a healthy corpus."""
+    return world.campus.designated_queriers[profile][rank]

@@ -1,0 +1,25 @@
+"""Shared utilities: error types, interval arithmetic, deterministic RNG."""
+
+from repro.common.errors import (
+    ReproError,
+    CatalogError,
+    ParseError,
+    PlanError,
+    ExecutionError,
+    PolicyError,
+    SieveError,
+)
+from repro.common.intervals import Interval
+from repro.common.rng import make_rng
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "ParseError",
+    "PlanError",
+    "ExecutionError",
+    "PolicyError",
+    "SieveError",
+    "Interval",
+    "make_rng",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at the middleware boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """Schema/catalog problems: unknown table, duplicate column, etc."""
+
+
+class ParseError(ReproError):
+    """SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """The optimizer could not produce a plan (bad hint, unknown index...)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure inside the execution engine."""
+
+
+class PolicyError(ReproError):
+    """Malformed access-control policy or policy-store inconsistency."""
+
+
+class SieveError(ReproError):
+    """Failures specific to the Sieve middleware layer."""

@@ -1,0 +1,23 @@
+"""Deterministic random number generation.
+
+All synthetic data in the repo (datasets, policies, workloads) flows
+through seeded :class:`random.Random` instances so every experiment is
+reproducible run-to-run.  ``make_rng`` derives independent streams from
+a base seed and a stream label, so adding a new consumer never perturbs
+the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def make_rng(seed: int, stream: str = "") -> random.Random:
+    """Return a ``random.Random`` seeded from ``(seed, stream)``.
+
+    The stream label is hashed so that distinct labels yield decorrelated
+    generators even for adjacent integer seeds.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))

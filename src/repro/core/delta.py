@@ -1,0 +1,116 @@
+"""The Δ (delta) policy-check operator as a UDF (paper Section 5.2).
+
+Δ(P_Gi, QM, t) does two things per tuple:
+
+1. retrieves P̂ — the subset of the partition relevant to the tuple's
+   context, i.e. the policies whose owner condition matches the
+   tuple's ``owner`` (the querier/purpose filtering already happened
+   when the guarded expression was built);
+2. evaluates each relevant policy's object conditions on the tuple.
+
+The engine-facing UDF signature is
+``sieve_delta(guard_key, col_1, ..., col_n)`` with the relation's
+columns passed in schema order; the rewriter generates the matching
+call.  Partition state is registered under ``guard_key`` before the
+rewritten query runs.
+
+Invocation counts land in ``counters.udf_invocations`` (charged by the
+Database UDF wrapper) and per-policy checks in
+``counters.udf_policy_evals``, which is what the Fig. 3 bench plots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.common.errors import SieveError
+from repro.core.guards import Guard
+from repro.expr.eval import ExprCompiler, RowBinding
+from repro.expr.analysis import make_and
+
+DELTA_UDF_NAME = "sieve_delta"
+
+
+class DeltaOperator:
+    """Holds compiled per-guard partition state and implements the UDF.
+
+    One instance per database: the UDF name is global, so a second
+    instance would orphan the first's partitions.  Use
+    :meth:`for_database`.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self._partitions: dict[str, dict[Any, list[Callable[[tuple], bool]]]] = {}
+        self._column_index: dict[str, int] = {}
+        db.create_function(DELTA_UDF_NAME, self._call)
+
+    @classmethod
+    def for_database(cls, db) -> "DeltaOperator":
+        existing = getattr(db, "_sieve_delta_operator", None)
+        if existing is None:
+            existing = cls(db)
+            db._sieve_delta_operator = existing
+        return existing
+
+    # ------------------------------------------------------------- plumbing
+
+    def register_guard(self, guard_key: str, guard: Guard, table_name: str) -> None:
+        """Compile a guard's partition for Δ evaluation.
+
+        Policies are bucketed by their owner value so the tuple's owner
+        retrieves only the policies that could possibly allow it — the
+        paper's "reducing the number of policies checked per tuple".
+        """
+        table = self.db.catalog.table(table_name)
+        schema_names = table.schema.names
+        owner_pos = table.schema.index_of("owner")
+        self._column_index[guard_key] = owner_pos
+        binding = RowBinding.for_table(table_name, schema_names)
+        compiler = ExprCompiler(binding, udfs={}, subquery_fn=None)
+        buckets: dict[Any, list[Callable[[tuple], bool]]] = defaultdict(list)
+        for policy in guard.policies:
+            if policy.has_derived_conditions:
+                raise SieveError(
+                    f"policy {policy.id} has derived conditions; Δ partitions must "
+                    "be constant-only (the strategy selector inlines such partitions)"
+                )
+            non_owner = [oc.to_expr() for oc in policy.non_owner_conditions]
+            expr = make_and(non_owner)
+            fn = compiler.compile(expr) if expr is not None else (lambda row: True)
+            owner_oc = policy.owner_condition
+            owners = owner_oc.value if owner_oc.op == "IN" else [owner_oc.value]
+            for owner in owners:
+                buckets[owner].append(fn)
+        self._partitions[guard_key] = dict(buckets)
+
+    def unregister_prefix(self, prefix: str) -> None:
+        """Drop all guard partitions whose key starts with ``prefix``
+        (used when a guarded expression is regenerated)."""
+        stale = [k for k in self._partitions if k.startswith(prefix)]
+        for key in stale:
+            del self._partitions[key]
+            del self._column_index[key]
+
+    @property
+    def registered_keys(self) -> list[str]:
+        return list(self._partitions)
+
+    # ------------------------------------------------------------- the UDF
+
+    def _call(self, guard_key: str, *column_values: Any) -> bool:
+        partition = self._partitions.get(guard_key)
+        if partition is None:
+            raise SieveError(f"Δ called with unregistered guard key {guard_key!r}")
+        owner = column_values[self._column_index[guard_key]]
+        relevant = partition.get(owner)
+        if not relevant:
+            return False
+        counters = self.db.counters
+        row = tuple(column_values)
+        for fn in relevant:
+            counters.udf_policy_evals += 1
+            if fn(row):
+                return True
+        return False

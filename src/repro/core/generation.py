@@ -1,0 +1,44 @@
+"""End-to-end guarded-expression generation (Section 4 pipeline).
+
+Candidate generation + Algorithm-1 selection, timed, with the
+partition invariants checked before the result is returned.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from repro.core.candidate_gen import generate_candidate_guards
+from repro.core.cost_model import SieveCostModel
+from repro.core.guard_selection import select_guards
+from repro.core.guards import GuardedExpression
+from repro.optimizer.stats import TableStats
+from repro.policy.model import Policy
+
+
+def build_guarded_expression(
+    policies: Sequence[Policy],
+    stats: TableStats,
+    indexed_columns: frozenset[str],
+    cost_model: SieveCostModel | None = None,
+    querier: Any = None,
+    purpose: str = "",
+    table: str = "",
+) -> GuardedExpression:
+    """Generate G(P) for one (querier, purpose, relation) policy set."""
+    cost_model = cost_model or SieveCostModel()
+    start = time.perf_counter()
+    candidates = generate_candidate_guards(policies, indexed_columns, stats, cost_model)
+    guards = select_guards(candidates, policies, cost_model, stats.row_count)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    expression = GuardedExpression(
+        querier=querier,
+        purpose=purpose,
+        table=table or (policies[0].table if policies else ""),
+        guards=guards,
+        policy_count=len(policies),
+        generation_ms=elapsed_ms,
+    )
+    expression.check_partition_invariants()
+    return expression

@@ -1,0 +1,237 @@
+"""Guarded-expression persistence (paper Sections 5.1, 6).
+
+Three relations mirror the paper's layout:
+
+* ``rGE`` (``sieve_guarded_expressions``):
+  ``<id, querier, associated_table, purpose, action, outdated, ts_inserted_at>``
+* ``rGG`` (``sieve_guards``): ``<id, guard_expression_id, attr, op, val, op2, val2>``
+* ``rGP`` (``sieve_guard_partitions``): ``<guard_id, policy_id>``
+
+Guarded expressions are regenerated lazily: inserting a policy flips
+the ``outdated`` flag of every affected querier's expressions (found
+via the group directory); the next query by that querier rebuilds and
+re-persists (Section 5.1 "we generate guards during query execution
+using triggers in case the current guards are outdated").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.guards import Guard, GuardedExpression
+from repro.policy.model import ObjectCondition, Policy
+from repro.policy.store import PolicyStore, _deserialize, _serialize
+from repro.storage.schema import ColumnType, Schema
+
+GE_TABLE = "sieve_guarded_expressions"
+GUARD_TABLE = "sieve_guards"
+PARTITION_TABLE = "sieve_guard_partitions"
+
+CacheKey = tuple[Any, str, str]  # (querier, purpose, table lowercased)
+
+
+@dataclass
+class _CacheEntry:
+    expression: GuardedExpression
+    outdated: bool = False
+    ge_rowid: int | None = None
+    guard_rowids: list[int] = field(default_factory=list)
+    partition_rowids: list[int] = field(default_factory=list)
+    inserts_since_generation: int = 0
+
+
+class GuardStore:
+    """Cache + persistence for guarded expressions, with staleness."""
+
+    def __init__(self, db, policy_store: PolicyStore):
+        self.db = db
+        self.policy_store = policy_store
+        self._cache: dict[CacheKey, _CacheEntry] = {}
+        self._ge_ids = itertools.count(1)
+        self._guard_ids = itertools.count(1)
+        self._install()
+        policy_store.add_listener(self._on_policy_change)
+
+    def _install(self) -> None:
+        if self.db.catalog.has_table(GE_TABLE):
+            return
+        self.db.create_table(
+            GE_TABLE,
+            Schema.of(
+                ("id", ColumnType.INT),
+                ("querier", ColumnType.VARCHAR),
+                ("associated_table", ColumnType.VARCHAR),
+                ("purpose", ColumnType.VARCHAR),
+                ("action", ColumnType.VARCHAR),
+                ("outdated", ColumnType.BOOL),
+                ("ts_inserted_at", ColumnType.INT),
+            ),
+        )
+        self.db.create_table(
+            GUARD_TABLE,
+            Schema.of(
+                ("id", ColumnType.INT),
+                ("guard_expression_id", ColumnType.INT),
+                ("attr_type", ColumnType.VARCHAR),
+                ("attr", ColumnType.VARCHAR),
+                ("op", ColumnType.VARCHAR),
+                ("val", ColumnType.VARCHAR),
+                ("op2", ColumnType.VARCHAR),
+                ("val2", ColumnType.VARCHAR),
+            ),
+        )
+        self.db.create_table(
+            PARTITION_TABLE,
+            Schema.of(
+                ("guard_id", ColumnType.INT),
+                ("policy_id", ColumnType.INT),
+            ),
+        )
+
+    # ------------------------------------------------------------ staleness
+
+    def _on_policy_change(self, policy: Policy) -> None:
+        """Policy inserted/deleted: flip outdated on affected queriers."""
+        for (querier, purpose, table), entry in self._cache.items():
+            if table != policy.table.lower():
+                continue
+            affected = policy.querier == querier or (
+                policy.querier in self.policy_store.groups.groups_of(querier)
+            )
+            if not affected:
+                continue
+            entry.outdated = True
+            entry.inserts_since_generation += 1
+            if entry.ge_rowid is not None:
+                table_obj = self.db.catalog.table(GE_TABLE)
+                row = list(table_obj.row(entry.ge_rowid))
+                row[5] = True
+                self.db.update_row(GE_TABLE, entry.ge_rowid, row)
+
+    def is_outdated(self, querier: Any, purpose: str, table: str) -> bool:
+        entry = self._cache.get((querier, purpose, table.lower()))
+        return entry is None or entry.outdated
+
+    def inserts_since_generation(self, querier: Any, purpose: str, table: str) -> int:
+        entry = self._cache.get((querier, purpose, table.lower()))
+        return entry.inserts_since_generation if entry else 0
+
+    # --------------------------------------------------------------- access
+
+    def get_or_build(
+        self,
+        querier: Any,
+        purpose: str,
+        table: str,
+        builder: Callable[[], GuardedExpression],
+        force_rebuild: bool = False,
+    ) -> tuple[GuardedExpression, bool]:
+        """Return the cached G(P), rebuilding when outdated or missing.
+
+        Returns (expression, regenerated?).
+        """
+        key: CacheKey = (querier, purpose, table.lower())
+        entry = self._cache.get(key)
+        if entry is not None and not entry.outdated and not force_rebuild:
+            return entry.expression, False
+        expression = builder()
+        self._persist(key, expression, replacing=entry)
+        return expression, True
+
+    def peek(self, querier: Any, purpose: str, table: str) -> GuardedExpression | None:
+        entry = self._cache.get((querier, purpose, table.lower()))
+        return entry.expression if entry else None
+
+    def cached_expressions(self) -> list[GuardedExpression]:
+        return [entry.expression for entry in self._cache.values()]
+
+    # ---------------------------------------------------------- persistence
+
+    def _persist(
+        self, key: CacheKey, expression: GuardedExpression, replacing: _CacheEntry | None
+    ) -> None:
+        if replacing is not None:
+            self._delete_rows(replacing)
+        ge_id = next(self._ge_ids)
+        expression.created_at = ge_id
+        ge_rowid = self.db.insert_row(
+            GE_TABLE,
+            (ge_id, str(key[0]), expression.table, key[1], "allow", False, ge_id),
+        )
+        guard_rowids: list[int] = []
+        partition_rowids: list[int] = []
+        for guard in expression.guards:
+            guard_id = next(self._guard_ids)
+            oc = guard.condition
+            tag, payload = _serialize(oc.value)
+            payload2 = _serialize(oc.value2)[1] if oc.op2 is not None else ""
+            guard_rowids.append(
+                self.db.insert_row(
+                    GUARD_TABLE,
+                    (guard_id, ge_id, tag, oc.attr, oc.op, payload, oc.op2 or "", payload2),
+                )
+            )
+            for policy in guard.policies:
+                partition_rowids.append(
+                    self.db.insert_row(PARTITION_TABLE, (guard_id, policy.id))
+                )
+        self._cache[key] = _CacheEntry(
+            expression=expression,
+            outdated=False,
+            ge_rowid=ge_rowid,
+            guard_rowids=guard_rowids,
+            partition_rowids=partition_rowids,
+        )
+
+    def _delete_rows(self, entry: _CacheEntry) -> None:
+        if entry.ge_rowid is not None:
+            self.db.delete_row(GE_TABLE, entry.ge_rowid)
+        for rowid in entry.guard_rowids:
+            self.db.delete_row(GUARD_TABLE, rowid)
+        for rowid in entry.partition_rowids:
+            self.db.delete_row(PARTITION_TABLE, rowid)
+
+    def load_persisted(self, querier: Any, purpose: str, table: str) -> GuardedExpression | None:
+        """Rebuild a GuardedExpression from the rGE/rGG/rGP tables
+        (round-trip check used by tests; the hot path uses the cache)."""
+        ge_table = self.db.catalog.table(GE_TABLE)
+        target = None
+        for _rowid, row in ge_table.scan():
+            if (
+                row[1] == str(querier)
+                and row[2].lower() == table.lower()
+                and row[3] == purpose
+            ):
+                target = row
+        if target is None:
+            return None
+        ge_id = target[0]
+        guards: list[Guard] = []
+        guard_table = self.db.catalog.table(GUARD_TABLE)
+        partition_table = self.db.catalog.table(PARTITION_TABLE)
+        for _rowid, grow in guard_table.scan():
+            gid, owner_ge, tag, attr, op, val, op2, val2 = grow
+            if owner_ge != ge_id:
+                continue
+            condition = ObjectCondition(
+                attr=attr,
+                op=op,
+                value=_deserialize(tag, val),
+                op2=op2 or None,
+                value2=_deserialize(tag, val2) if op2 else None,
+            )
+            policy_ids = [
+                prow[1]
+                for _r, prow in partition_table.scan()
+                if prow[0] == gid
+            ]
+            policies = [self.policy_store.get(pid) for pid in policy_ids]
+            guards.append(Guard(condition=condition, policies=policies, cardinality=0.0))
+        return GuardedExpression(
+            querier=querier,
+            purpose=purpose,
+            table=table,
+            guards=guards,
+        )

@@ -1,0 +1,209 @@
+"""The Sieve middleware facade (paper Section 5).
+
+Usage::
+
+    db = connect("mysql")
+    ... create tables, load data, create indexes ...
+    store = PolicyStore(db, groups)
+    store.insert_many(policies)
+    sieve = Sieve(db, store)
+    result = sieve.execute(
+        "SELECT * FROM WiFi_Dataset WHERE ts_date BETWEEN 10 AND 20",
+        querier="Prof.Smith",
+        purpose="analytics",
+    )
+
+Per query, Sieve:
+
+1. filters the policy corpus by query metadata (querier, purpose) —
+   the PQM filter of Section 3.2;
+2. fetches (or lazily regenerates, Section 6) the guarded expression
+   for each referenced relation;
+3. chooses LinearScan / IndexQuery / IndexGuards and per-guard Δ
+   (Sections 5.4-5.5);
+4. rewrites the query with enforcement CTEs (Section 5.3) and runs it
+   on the underlying database.
+
+Relations where the querier holds no applicable policies come back
+empty (opt-out default-deny, Section 3.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.cost_model import SieveCostModel, calibrate
+from repro.core.delta import DeltaOperator
+from repro.core.generation import build_guarded_expression
+from repro.core.guard_store import GuardStore
+from repro.core.guards import GuardedExpression
+from repro.core.regeneration import RegenerationController
+from repro.core.rewriter import (
+    RewriteInfo,
+    SieveRewriter,
+    collect_table_names,
+    query_predicates_for,
+)
+from repro.core.strategy import StrategyDecision, choose_strategy
+from repro.engine.executor import QueryResult
+from repro.policy.store import PolicyStore
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+
+
+@dataclass(frozen=True)
+class QueryMetadata:
+    """QM: the context Sieve reads off an incoming query (Section 3.1)."""
+
+    querier: Any
+    purpose: str
+
+
+@dataclass
+class SieveExecution:
+    """Result of one middleware execution, with full bookkeeping."""
+
+    result: QueryResult
+    rewrite: RewriteInfo
+    metadata: QueryMetadata
+    policies_considered: int = 0
+    regenerated_tables: list[str] = field(default_factory=list)
+    middleware_ms: float = 0.0
+    execution_ms: float = 0.0
+
+
+class Sieve:
+    """The middleware: intercepts queries, rewrites, executes."""
+
+    def __init__(
+        self,
+        db,
+        policy_store: PolicyStore,
+        cost_model: SieveCostModel | None = None,
+        regeneration: RegenerationController | None = None,
+    ):
+        self.db = db
+        self.policy_store = policy_store
+        self.cost_model = cost_model or SieveCostModel()
+        self.delta = DeltaOperator.for_database(db)
+        self.guard_store = GuardStore(db, policy_store)
+        self.rewriter = SieveRewriter(db, self.delta)
+        self.regeneration = regeneration
+
+    # ------------------------------------------------------------- plumbing
+
+    def calibrate(self, table_name: str, sample_limit: int = 2000) -> SieveCostModel:
+        """Re-derive the cost constants from the live engine (Section 5.4)."""
+        policies = [
+            p
+            for p in self.policy_store.all_policies()
+            if p.table.lower() == table_name.lower()
+        ]
+        self.cost_model = calibrate(self.db, table_name, policies, sample_limit)
+        return self.cost_model
+
+    def guarded_expression_for(
+        self, querier: Any, purpose: str, table: str, force_rebuild: bool = False
+    ) -> tuple[GuardedExpression, bool]:
+        """Fetch/build G(P) for one (querier, purpose, relation)."""
+
+        def builder() -> GuardedExpression:
+            policies = self.policy_store.policies_for(querier, purpose, table)
+            heap = self.db.catalog.table(table)
+            return build_guarded_expression(
+                policies,
+                self.db.stats.get(heap),
+                frozenset(self.db.catalog.indexed_columns(table)),
+                self.cost_model,
+                querier=querier,
+                purpose=purpose,
+                table=heap.name,
+            )
+
+        force = force_rebuild
+        if not force and self.regeneration is not None:
+            # Section 6: defer regeneration until the k-th insertion.
+            if self.guard_store.is_outdated(querier, purpose, table):
+                cached = self.guard_store.peek(querier, purpose, table)
+                if cached is not None:
+                    inserts = self.guard_store.inserts_since_generation(
+                        querier, purpose, table
+                    )
+                    avg_cardinality = cached.total_cardinality / max(1, len(cached.guards))
+                    if not self.regeneration.decide(inserts, avg_cardinality):
+                        return cached, False
+        return self.guard_store.get_or_build(
+            querier, purpose, table, builder, force_rebuild=force
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def _prepare(
+        self, sql: str | Query, querier: Any, purpose: str
+    ) -> tuple[SieveExecution, Query]:
+        """Run the middleware pipeline up to (not including) execution."""
+        start = time.perf_counter()
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        metadata = QueryMetadata(querier=querier, purpose=purpose)
+
+        protected = self.policy_store.tables_with_policies()
+        targets = sorted(collect_table_names(query) & protected)
+
+        expressions: dict[str, GuardedExpression] = {}
+        decisions: dict[str, StrategyDecision] = {}
+        denied: set[str] = set()
+        regenerated: list[str] = []
+        policies_considered = 0
+
+        for table_name in targets:
+            policies = self.policy_store.policies_for(querier, purpose, table_name)
+            policies_considered += len(policies)
+            if not policies:
+                denied.add(table_name)
+                continue
+            expression, rebuilt = self.guarded_expression_for(querier, purpose, table_name)
+            if rebuilt:
+                regenerated.append(table_name)
+            heap = self.db.catalog.table(table_name)
+            qpreds = query_predicates_for(
+                query, table_name, {c.lower() for c in heap.schema.names}
+            )
+            decisions[table_name] = choose_strategy(
+                self.db, table_name, expression, qpreds, self.cost_model
+            )
+            expressions[table_name] = expression
+
+        rewritten, info = self.rewriter.rewrite(query, expressions, decisions, denied)
+        middleware_ms = (time.perf_counter() - start) * 1000.0
+        execution = SieveExecution(
+            result=QueryResult(columns=[], rows=[]),
+            rewrite=info,
+            metadata=metadata,
+            policies_considered=policies_considered,
+            regenerated_tables=regenerated,
+            middleware_ms=middleware_ms,
+        )
+        return execution, rewritten
+
+    def rewrite(self, sql: str | Query, querier: Any, purpose: str) -> Query:
+        """The enforcement rewrite as an AST (without executing it)."""
+        _execution, rewritten = self._prepare(sql, querier, purpose)
+        return rewritten
+
+    def execute(self, sql: str | Query, querier: Any, purpose: str) -> QueryResult:
+        """Enforce policies and run the query; the common entry point."""
+        return self.execute_with_info(sql, querier, purpose).result
+
+    def execute_with_info(self, sql: str | Query, querier: Any, purpose: str) -> SieveExecution:
+        execution, rewritten = self._prepare(sql, querier, purpose)
+        start = time.perf_counter()
+        execution.result = self.db.execute(rewritten)
+        execution.execution_ms = (time.perf_counter() - start) * 1000.0
+        return execution
+
+    def rewritten_sql(self, sql: str | Query, querier: Any, purpose: str) -> str:
+        """The enforcement rewrite as SQL text (for inspection/docs)."""
+        return to_sql(self.rewrite(sql, querier, purpose))

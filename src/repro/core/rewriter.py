@@ -1,0 +1,409 @@
+"""Query rewriting (paper Sections 5.3-5.6).
+
+For every relation with applicable policies, Sieve prepends a WITH
+clause selecting the policy-compliant projection and redirects all
+references to it::
+
+    WITH WiFi_Dataset_sieve AS (
+      SELECT * FROM WiFi_Dataset FORCE INDEX (idx_..._wifiap)
+        WHERE <guard_1> AND <query predicate> AND (<partition_1>)
+      UNION
+      SELECT * FROM WiFi_Dataset FORCE INDEX (idx_..._owner)
+        WHERE <guard_n> AND <query predicate> AND sieve_delta('…', id, …)
+    )
+    SELECT ... FROM WiFi_Dataset_sieve AS W ...
+
+Personality shapes the CTE body (Section 5.3):
+
+* **MySQL** + IndexGuards: one UNION branch per guard, each forcing
+  that guard's index; LinearScan uses ``USE INDEX ()``; IndexQuery
+  forces the query predicate's index.
+* **PostgreSQL**: a single SELECT with the guard disjunction — the
+  engine's optimizer turns it into a BitmapOr over the guard indexes
+  on its own (hints are ignored there anyway).
+
+Selective query predicates on the rewritten table are copied into the
+CTE (Section 5.5) so the inner access-path choice can exploit them;
+the originals stay in the outer query, which is semantically redundant
+but harmless.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import SieveError
+from repro.core.delta import DELTA_UDF_NAME, DeltaOperator
+from repro.core.guards import GuardedExpression
+from repro.core.strategy import Strategy, StrategyDecision
+from repro.expr.analysis import conjuncts, make_and, make_or, walk
+from repro.expr.nodes import (
+    And,
+    Arith,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.sql.ast import (
+    CTE,
+    DerivedTable,
+    IndexHint,
+    Query,
+    Select,
+    SelectCore,
+    SelectItem,
+    SetOp,
+    TableRef,
+)
+from repro.expr.nodes import Star
+
+
+@dataclass
+class RewriteInfo:
+    """What the rewriter did, for logging/EXPLAIN and tests."""
+
+    enforced_tables: dict[str, str] = field(default_factory=dict)  # table -> cte name
+    decisions: dict[str, StrategyDecision] = field(default_factory=dict)
+    denied_tables: list[str] = field(default_factory=list)
+    sql: str = ""
+
+
+def collect_table_names(query: Query) -> set[str]:
+    """All base-table names referenced anywhere in a query AST."""
+    names: set[str] = set()
+    cte_names = {c.name.lower() for c in query.ctes}
+    for cte in query.ctes:
+        names |= collect_table_names(cte.query)
+    _collect_core(query.body, names, cte_names)
+    return names
+
+
+def _collect_core(core: SelectCore, names: set[str], cte_names: set[str]) -> None:
+    if isinstance(core, SetOp):
+        _collect_core(core.left, names, cte_names)
+        _collect_core(core.right, names, cte_names)
+        return
+    for item in list(core.from_items) + [j.item for j in core.joins]:
+        if isinstance(item, TableRef):
+            if item.name.lower() not in cte_names:
+                names.add(item.name.lower())
+        else:
+            names |= collect_table_names(item.query)
+    for expr in _exprs_of_select(core):
+        for node in walk(expr):
+            if hasattr(node, "select") and node.select is not None:
+                names |= collect_table_names(node.select)
+
+
+def _exprs_of_select(select: Select) -> list[Expr]:
+    out = [i.expr for i in select.items]
+    if select.where is not None:
+        out.append(select.where)
+    out.extend(select.group_by)
+    if select.having is not None:
+        out.append(select.having)
+    out.extend(o.expr for o in select.order_by)
+    return out
+
+
+def aliases_for_table(query: Query, table_name: str) -> list[str]:
+    """The aliases under which ``table_name`` appears in the query body."""
+    out: list[str] = []
+
+    def visit(core: SelectCore) -> None:
+        if isinstance(core, SetOp):
+            visit(core.left)
+            visit(core.right)
+            return
+        for item in list(core.from_items) + [j.item for j in core.joins]:
+            if isinstance(item, TableRef) and item.name.lower() == table_name.lower():
+                out.append(item.binding_name)
+
+    visit(query.body)
+    return out
+
+
+def query_predicates_for(query: Query, table_name: str, table_columns: set[str]) -> list[Expr]:
+    """Single-table, constant-only conjuncts of the outer WHERE that
+    target ``table_name`` (Section 5.5's 'selective query predicates').
+
+    Only safe when the table is referenced exactly once: the CTE is
+    shared by every reference, so predicates from two different uses
+    (e.g. the two sides of an EXCEPT) must not be conjoined into it.
+    """
+    alias_list = aliases_for_table(query, table_name)
+    if len(alias_list) != 1:
+        return []
+    aliases = {alias_list[0].lower()}
+    found: list[Expr] = []
+
+    def visit(core: SelectCore) -> None:
+        if isinstance(core, SetOp):
+            visit(core.left)
+            visit(core.right)
+            return
+        if core.where is None:
+            return
+        for conj in conjuncts(core.where):
+            if _is_copyable_predicate(conj, aliases, table_columns):
+                found.append(conj)
+
+    visit(query.body)
+    return found
+
+
+def _is_copyable_predicate(expr: Expr, aliases: set[str], columns: set[str]) -> bool:
+    """Deterministic, single-table, constant-only predicate?"""
+    saw_column = False
+    for node in walk(expr):
+        if isinstance(node, ColumnRef):
+            saw_column = True
+            if node.table is not None:
+                if node.table.lower() not in aliases:
+                    return False
+            elif node.name.lower() not in columns:
+                return False
+        elif isinstance(node, (FuncCall,)):
+            return False  # UDFs/aggregates are not safe to duplicate
+        elif not isinstance(
+            node, (Literal, Comparison, Between, InList, And, Or, Not, Arith, IsNull)
+        ):
+            return False
+    return saw_column
+
+
+def strip_qualifiers(expr: Expr) -> Expr:
+    """Rewrite qualified column refs to bare names (for CTE bodies)."""
+    if isinstance(expr, ColumnRef):
+        return ColumnRef(expr.name) if expr.table is not None else expr
+    if isinstance(expr, And):
+        return And(tuple(strip_qualifiers(c) for c in expr.children))
+    if isinstance(expr, Or):
+        return Or(tuple(strip_qualifiers(c) for c in expr.children))
+    if isinstance(expr, Not):
+        return Not(strip_qualifiers(expr.child))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, strip_qualifiers(expr.left), strip_qualifiers(expr.right))
+    if isinstance(expr, Arith):
+        return Arith(expr.op, strip_qualifiers(expr.left), strip_qualifiers(expr.right))
+    if isinstance(expr, Between):
+        return Between(
+            strip_qualifiers(expr.expr),
+            strip_qualifiers(expr.low),
+            strip_qualifiers(expr.high),
+            expr.negated,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            strip_qualifiers(expr.expr),
+            tuple(strip_qualifiers(i) for i in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, IsNull):
+        return IsNull(strip_qualifiers(expr.child))
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(strip_qualifiers(a) for a in expr.args), expr.distinct)
+    return expr
+
+
+class SieveRewriter:
+    """Builds the policy-enforcing rewrite of a query."""
+
+    def __init__(self, db, delta: DeltaOperator):
+        self.db = db
+        self.delta = delta
+
+    def rewrite(
+        self,
+        query: Query,
+        expressions: dict[str, GuardedExpression],
+        decisions: dict[str, StrategyDecision],
+        denied_tables: set[str] = frozenset(),
+    ) -> tuple[Query, RewriteInfo]:
+        """Produce the rewritten query plus bookkeeping.
+
+        ``expressions``/``decisions`` are keyed by lowercase table name;
+        ``denied_tables`` are relations the querier has no policies on —
+        they rewrite to an empty projection (opt-out semantics).
+        """
+        info = RewriteInfo(decisions=dict(decisions))
+        new_ctes: list[CTE] = []
+        replacements: dict[str, str] = {}
+
+        for table_name in sorted(denied_tables):
+            cte_name = self._cte_name(table_name)
+            new_ctes.append(self._denial_cte(table_name, cte_name))
+            replacements[table_name.lower()] = cte_name
+            info.denied_tables.append(table_name)
+
+        for table_name, expression in sorted(expressions.items()):
+            decision = decisions[table_name]
+            cte_name = self._cte_name(table_name)
+            qpreds = query_predicates_for(
+                query,
+                table_name,
+                {c.lower() for c in self.db.catalog.table(table_name).schema.names},
+            )
+            body = self._enforcement_select(table_name, expression, decision, qpreds)
+            new_ctes.append(CTE(cte_name, Query(body=body)))
+            replacements[table_name.lower()] = cte_name
+            info.enforced_tables[table_name] = cte_name
+
+        rewritten = self._replace_tables(query, replacements)
+        rewritten.ctes = new_ctes + rewritten.ctes
+        from repro.sql.printer import to_sql
+
+        info.sql = to_sql(rewritten)
+        return rewritten, info
+
+    # ------------------------------------------------------------ CTE body
+
+    def _cte_name(self, table_name: str) -> str:
+        return f"{table_name}_sieve"
+
+    def _denial_cte(self, table_name: str, cte_name: str) -> CTE:
+        select = Select(
+            items=[SelectItem(Star())],
+            from_items=[TableRef(table_name)],
+            where=Literal(False),
+        )
+        return CTE(cte_name, Query(body=select))
+
+    def _enforcement_select(
+        self,
+        table_name: str,
+        expression: GuardedExpression,
+        decision: StrategyDecision,
+        query_predicates: list[Expr],
+    ) -> SelectCore:
+        personality = self.db.personality
+        table = self.db.catalog.table(table_name)
+        columns = table.schema.names
+        qpred = make_and([strip_qualifiers(p) for p in query_predicates])
+        self._register_delta_partitions(table_name, expression, decision)
+
+        if personality.honors_index_hints and decision.strategy is Strategy.INDEX_GUARDS:
+            return self._union_of_guard_scans(
+                table_name, expression, decision, qpred, columns
+            )
+
+        guard_or = expression.to_expr(
+            qualifier=None,
+            delta_guards=decision.delta_guards,
+            delta_udf=DELTA_UDF_NAME,
+            delta_columns=columns,
+        )
+        if guard_or is None:
+            guard_or = Literal(False)
+        where = make_and([p for p in (qpred, guard_or) if p is not None])
+        hint: IndexHint | None = None
+        if personality.honors_index_hints:
+            if decision.strategy is Strategy.LINEAR_SCAN:
+                hint = IndexHint("USE", ())
+            elif (
+                decision.strategy is Strategy.INDEX_QUERY
+                and decision.query_index_column is not None
+            ):
+                index = self.db.catalog.index_on_column(
+                    table_name, decision.query_index_column
+                )
+                if index is not None:
+                    hint = IndexHint("FORCE", (index.name,))
+        return Select(
+            items=[SelectItem(Star())],
+            from_items=[TableRef(table_name, hint=hint)],
+            where=where,
+        )
+
+    def _union_of_guard_scans(
+        self,
+        table_name: str,
+        expression: GuardedExpression,
+        decision: StrategyDecision,
+        qpred: Expr | None,
+        columns: list[str],
+    ) -> SelectCore:
+        """MySQL IndexGuards: UNION of per-guard forced index scans."""
+        branches: list[Select] = []
+        for i, guard in enumerate(expression.guards):
+            index = self.db.catalog.index_on_column(table_name, guard.condition.attr)
+            hint = IndexHint("FORCE", (index.name,)) if index is not None else None
+            use_delta = i in decision.delta_guards
+            delta_call = None
+            if use_delta:
+                delta_call = FuncCall(
+                    DELTA_UDF_NAME,
+                    (
+                        Literal(expression.guard_key(i)),
+                        *(ColumnRef(c) for c in columns),
+                    ),
+                )
+            branch_expr = guard.to_expr(None, use_delta=use_delta, delta_call=delta_call)
+            where = make_and([p for p in (branch_expr, qpred) if p is not None])
+            branches.append(
+                Select(
+                    items=[SelectItem(Star())],
+                    from_items=[TableRef(table_name, hint=hint)],
+                    where=where,
+                )
+            )
+        if not branches:
+            return Select(
+                items=[SelectItem(Star())],
+                from_items=[TableRef(table_name)],
+                where=Literal(False),
+            )
+        core: SelectCore = branches[0]
+        for branch in branches[1:]:
+            core = SetOp("UNION", core, branch)  # UNION dedups overlapping guards
+        return core
+
+    def _register_delta_partitions(
+        self, table_name: str, expression: GuardedExpression, decision: StrategyDecision
+    ) -> None:
+        prefix = f"{expression.querier}|{expression.purpose}|{expression.table}|"
+        self.delta.unregister_prefix(prefix)
+        for i in decision.delta_guards:
+            self.delta.register_guard(
+                expression.guard_key(i), expression.guards[i], table_name
+            )
+
+    # ------------------------------------------------------ table renaming
+
+    def _replace_tables(self, query: Query, replacements: dict[str, str]) -> Query:
+        new_query = copy.deepcopy(query)
+        self._replace_in_core(new_query.body, replacements)
+        for cte in new_query.ctes:
+            self._replace_in_core(cte.query.body, replacements)
+        return new_query
+
+    def _replace_in_core(self, core: SelectCore, replacements: dict[str, str]) -> None:
+        if isinstance(core, SetOp):
+            self._replace_in_core(core.left, replacements)
+            self._replace_in_core(core.right, replacements)
+            return
+        for item in list(core.from_items) + [j.item for j in core.joins]:
+            if isinstance(item, TableRef):
+                new_name = replacements.get(item.name.lower())
+                if new_name is not None:
+                    if item.alias is None:
+                        item.alias = item.name
+                    item.name = new_name
+                    item.hint = None  # hints moved inside the CTE
+            elif isinstance(item, DerivedTable):
+                self._replace_in_core(item.query.body, replacements)
+        for expr in _exprs_of_select(core):
+            for node in walk(expr):
+                select = getattr(node, "select", None)
+                if select is not None and hasattr(select, "body"):
+                    self._replace_in_core(select.body, replacements)

@@ -1,0 +1,29 @@
+"""Synthetic datasets reproducing the paper's evaluation inputs.
+
+* :mod:`tippers` — WiFi connectivity logs of a smart campus building
+  (64 APs, device profiles, affinity groups), Section 7.1.
+* :mod:`mall`    — WiFi connectivity in a shopping mall (35 shops,
+  regular/irregular customers), Section 7.1.
+* :mod:`policies` — the profile-based policy generator (unconcerned vs
+  advanced users, Lin et al. profile split).
+* :mod:`workload` — the SmartBench-derived query templates Q1/Q2/Q3 at
+  three selectivity classes.
+"""
+
+from repro.datasets.tippers import TippersConfig, TippersDataset, generate_tippers
+from repro.datasets.mall import MallConfig, MallDataset, generate_mall
+from repro.datasets.policies import PolicyGenConfig, generate_campus_policies
+from repro.datasets.workload import QueryWorkload, Selectivity
+
+__all__ = [
+    "TippersConfig",
+    "TippersDataset",
+    "generate_tippers",
+    "MallConfig",
+    "MallDataset",
+    "generate_mall",
+    "PolicyGenConfig",
+    "generate_campus_policies",
+    "QueryWorkload",
+    "Selectivity",
+]

@@ -1,0 +1,233 @@
+"""The Mall dataset (paper Section 7.1, Experiment 5).
+
+A synthetic shopping mall: shops of six types, customers whose
+trajectories produce WiFi connectivity events, and per-customer
+policies aimed at *shops as queriers*:
+
+* **regular** customers allow the shops they visit most to see their
+  location during opening hours;
+* **irregular** customers allow shop *types* access only during sales
+  periods (date ranges);
+* customers with a declared interest additionally allow shops of that
+  category for short windows (lightning sales).
+
+The paper's instance: 1.7M events, 2,651 devices, 35 shops, 19,364
+policies (~551 per shop).  Scale is configurable; Experiment 5 needs
+≥1,200 policies for 5 shops, which the defaults comfortably provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.rng import make_rng
+from repro.db.database import Database, connect
+from repro.policy.groups import GroupDirectory
+from repro.policy.model import ObjectCondition, Policy
+from repro.storage.schema import ColumnType, Schema
+
+SHOP_TYPES = ("arcade", "movies", "clothing", "food", "electronics", "sports")
+
+CONNECTIVITY_TABLE = "WiFi_Connectivity"
+
+OPEN_START, OPEN_END = 600, 1320  # 10:00 - 22:00
+
+
+@dataclass
+class MallConfig:
+    seed: int = 13
+    n_shops: int = 35
+    n_customers: int = 800
+    days: int = 30
+    events_per_visit: int = 6
+    regular_fraction: float = 0.45
+    interest_fraction: float = 0.5
+    page_size: int = 256
+    personality: str = "postgres"  # Experiment 5 runs on PostgreSQL
+
+
+@dataclass
+class MallDataset:
+    db: Database
+    config: MallConfig
+    groups: GroupDirectory
+    shop_types: dict[int, str]  # shop id -> type
+    customer_kind: dict[int, str]  # customer -> "regular" | "irregular"
+    favorite_shops: dict[int, list[int]]
+    policies: list[Policy]
+    event_count: int = 0
+
+    @property
+    def shops(self) -> list[int]:
+        return sorted(self.shop_types)
+
+    def shop_querier(self, shop: int) -> str:
+        return f"shop-{shop}"
+
+    def policies_of_shop(self, shop: int) -> list[Policy]:
+        querier = self.shop_querier(shop)
+        type_group = f"type-{self.shop_types[shop]}"
+        return [p for p in self.policies if p.querier in (querier, type_group)]
+
+
+def generate_mall(config: MallConfig | None = None, db: Database | None = None) -> MallDataset:
+    """Build the mall database, events, and the policy corpus."""
+    config = config or MallConfig()
+    if db is None:
+        db = connect(config.personality, page_size=config.page_size)
+    rng = make_rng(config.seed, "mall")
+
+    shop_types = {shop: SHOP_TYPES[shop % len(SHOP_TYPES)] for shop in range(config.n_shops)}
+
+    db.create_table(
+        "Users",
+        Schema.of(
+            ("id", ColumnType.INT),
+            ("device", ColumnType.VARCHAR),
+            ("interest", ColumnType.VARCHAR),
+        ),
+    )
+    db.create_table(
+        "Shop",
+        Schema.of(
+            ("id", ColumnType.INT),
+            ("name", ColumnType.VARCHAR),
+            ("type", ColumnType.VARCHAR),
+        ),
+    )
+    db.create_table(
+        CONNECTIVITY_TABLE,
+        Schema.of(
+            ("id", ColumnType.INT),
+            ("shop_id", ColumnType.INT),
+            ("owner", ColumnType.INT),
+            ("ts_time", ColumnType.TIME),
+            ("ts_date", ColumnType.DATE),
+        ),
+        page_size=config.page_size,
+    )
+    for shop, stype in shop_types.items():
+        db.insert_row("Shop", (shop, f"shop-{shop:03d}", stype))
+
+    # Shops-as-queriers also form type groups, so a policy can target a
+    # whole shop category.
+    groups = GroupDirectory()
+    for stype in SHOP_TYPES:
+        groups.add_group(f"type-{stype}")
+    for shop, stype in shop_types.items():
+        groups.add_member(f"type-{stype}", f"shop-{shop}")
+
+    customer_kind: dict[int, str] = {}
+    favorites: dict[int, list[int]] = {}
+    interests: dict[int, str | None] = {}
+    raw_events: list[tuple[int, int, int, int]] = []  # (day, minute, shop, customer)
+    for customer in range(config.n_customers):
+        regular = rng.random() < config.regular_fraction
+        customer_kind[customer] = "regular" if regular else "irregular"
+        n_favorites = rng.randrange(2, 5) if regular else rng.randrange(1, 3)
+        favorites[customer] = sorted(rng.sample(range(config.n_shops), n_favorites))
+        interests[customer] = (
+            rng.choice(SHOP_TYPES) if rng.random() < config.interest_fraction else None
+        )
+        db.insert_row(
+            "Users",
+            (customer, f"cust-{customer:05d}", interests[customer] or ""),
+        )
+        visit_prob = 0.5 if regular else 0.12
+        for day in range(config.days):
+            if rng.random() >= visit_prob:
+                continue
+            minute = rng.randrange(OPEN_START, OPEN_END - 60)
+            for _ in range(max(1, round(rng.gauss(config.events_per_visit, 2)))):
+                if rng.random() < 0.7:
+                    shop = rng.choice(favorites[customer])
+                else:
+                    shop = rng.randrange(config.n_shops)
+                raw_events.append((day, minute % 1440, shop, customer))
+                minute += max(1, round(rng.gauss(25, 10)))
+                if minute >= OPEN_END:
+                    break
+    # Sensor logs arrive time-ordered (see tippers.py for rationale).
+    raw_events.sort(key=lambda e: (e[0], e[1]))
+    events = [
+        (event_id, shop, customer, minute, day)
+        for event_id, (day, minute, shop, customer) in enumerate(raw_events)
+    ]
+    event_id = len(events)
+    db.insert(CONNECTIVITY_TABLE, events)
+    for column in ("owner", "shop_id", "ts_time", "ts_date"):
+        db.create_index(CONNECTIVITY_TABLE, column)
+    # Group members here are shop identifiers (strings), so the SQL-side
+    # membership tables (which key users by int id) are not installed.
+    db.analyze()
+
+    # ----- policies
+    policies: list[Policy] = []
+    sales_periods = [
+        (start, min(config.days - 1, start + rng.randrange(2, 5)))
+        for start in rng.sample(range(max(1, config.days - 4)), min(6, max(1, config.days - 4)))
+    ]
+    for customer in range(config.n_customers):
+        if customer_kind[customer] == "regular":
+            for shop in favorites[customer]:
+                policies.append(
+                    Policy(
+                        owner=customer,
+                        querier=f"shop-{shop}",
+                        purpose="any",
+                        table=CONNECTIVITY_TABLE,
+                        object_conditions=(
+                            ObjectCondition("owner", "=", customer),
+                            ObjectCondition("ts_time", ">=", OPEN_START, "<=", OPEN_END),
+                        ),
+                    )
+                )
+        else:
+            stype = shop_types[rng.choice(favorites[customer])]
+            for d1, d2 in rng.sample(sales_periods, min(2, len(sales_periods))):
+                policies.append(
+                    Policy(
+                        owner=customer,
+                        querier=f"type-{stype}",
+                        purpose="any",
+                        table=CONNECTIVITY_TABLE,
+                        object_conditions=(
+                            ObjectCondition("owner", "=", customer),
+                            ObjectCondition("ts_date", ">=", d1, "<=", d2),
+                        ),
+                    )
+                )
+        interest = interests[customer]
+        if interest is not None:
+            start = rng.randrange(OPEN_START, OPEN_END - 120)
+            policies.append(
+                Policy(
+                    owner=customer,
+                    querier=f"type-{interest}",
+                    purpose="any",
+                    table=CONNECTIVITY_TABLE,
+                    object_conditions=(
+                        ObjectCondition("owner", "=", customer),
+                        ObjectCondition("ts_time", ">=", start, "<=", start + 120),
+                        ObjectCondition(
+                            "ts_date",
+                            ">=",
+                            rng.randrange(0, max(1, config.days - 3)),
+                            "<=",
+                            config.days - 1,
+                        ),
+                    ),
+                )
+            )
+
+    return MallDataset(
+        db=db,
+        config=config,
+        groups=groups,
+        shop_types=shop_types,
+        customer_kind=customer_kind,
+        favorite_shops=favorites,
+        policies=policies,
+        event_count=event_id,
+    )

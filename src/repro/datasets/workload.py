@@ -1,0 +1,120 @@
+"""Query workloads: the SmartBench-derived templates (paper Section 7.1).
+
+* **Q1** — devices connected at a list of locations during a period
+  (location surveillance);
+* **Q2** — events for a list of device MACs during a period (device
+  surveillance);
+* **Q3** — devices from a user group seen at a location/time (join with
+  User_Group_Membership; analytics).
+
+Each template is generated at three selectivity classes (low / mid /
+high) by widening the location list, device list, and time/date
+windows, mirroring how the paper varies "configuration parameters
+(locations, users, time periods)".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+from repro.datasets.tippers import TippersDataset, WIFI_TABLE
+from repro.policy.groups import MEMBERSHIP_TABLE
+
+
+class Selectivity(enum.Enum):
+    LOW = "low"
+    MID = "mid"
+    HIGH = "high"
+
+
+# (n_aps, n_devices, time window minutes, date window days) per class.
+_CLASS_PARAMS = {
+    Selectivity.LOW: (2, 4, 90, 5),
+    Selectivity.MID: (6, 16, 240, 12),
+    Selectivity.HIGH: (16, 48, 600, 30),
+}
+
+
+@dataclass
+class GeneratedQuery:
+    sql: str
+    template: str  # "Q1" | "Q2" | "Q3"
+    selectivity: Selectivity
+
+
+class QueryWorkload:
+    """Deterministic query generator over a TIPPERS dataset."""
+
+    def __init__(self, dataset: TippersDataset, seed: int = 23):
+        self.dataset = dataset
+        self.rng = make_rng(seed, "workload")
+
+    # ------------------------------------------------------------ templates
+
+    def q1(self, selectivity: Selectivity) -> GeneratedQuery:
+        """Devices connected for a list of locations during a period."""
+        n_aps, _, t_window, d_window = _CLASS_PARAMS[selectivity]
+        aps = sorted(self.rng.sample(range(self.dataset.config.n_aps), n_aps))
+        t1, t2, d1, d2 = self._windows(t_window, d_window)
+        sql = (
+            f"SELECT * FROM {WIFI_TABLE} AS W "
+            f"WHERE W.wifiAP IN ({', '.join(map(str, aps))}) "
+            f"AND W.ts_time BETWEEN {t1} AND {t2} "
+            f"AND W.ts_date BETWEEN {d1} AND {d2}"
+        )
+        return GeneratedQuery(sql, "Q1", selectivity)
+
+    def q2(self, selectivity: Selectivity) -> GeneratedQuery:
+        """Events of a list of devices during a period."""
+        _, n_devices, t_window, d_window = _CLASS_PARAMS[selectivity]
+        devices = sorted(
+            self.rng.sample(self.dataset.devices, min(n_devices, len(self.dataset.devices)))
+        )
+        t1, t2, d1, d2 = self._windows(t_window, d_window)
+        sql = (
+            f"SELECT * FROM {WIFI_TABLE} AS W "
+            f"WHERE W.owner IN ({', '.join(map(str, devices))}) "
+            f"AND W.ts_time BETWEEN {t1} AND {t2} "
+            f"AND W.ts_date BETWEEN {d1} AND {d2}"
+        )
+        return GeneratedQuery(sql, "Q2", selectivity)
+
+    def q3(self, selectivity: Selectivity) -> GeneratedQuery:
+        """Count devices of a user group seen in a period (join)."""
+        _, _, t_window, d_window = _CLASS_PARAMS[selectivity]
+        group = self.rng.choice(
+            [g for g in self.dataset.groups.group_names() if str(g).startswith("region-")]
+        )
+        gid = self.dataset.groups.group_id(group)
+        t1, t2, d1, d2 = self._windows(t_window, d_window)
+        sql = (
+            f"SELECT count(*) AS devices FROM {WIFI_TABLE} AS W, {MEMBERSHIP_TABLE} AS UG "
+            f"WHERE UG.user_group_id = {gid} AND UG.user_id = W.owner "
+            f"AND W.ts_time BETWEEN {t1} AND {t2} "
+            f"AND W.ts_date BETWEEN {d1} AND {d2}"
+        )
+        return GeneratedQuery(sql, "Q3", selectivity)
+
+    def _windows(self, t_window: int, d_window: int) -> tuple[int, int, int, int]:
+        t1 = self.rng.randrange(420, max(421, 1380 - t_window))
+        t2 = min(1439, t1 + t_window)
+        days = self.dataset.config.days
+        d1 = self.rng.randrange(0, max(1, days - d_window))
+        d2 = min(days - 1, d1 + d_window)
+        return t1, t2, d1, d2
+
+    # --------------------------------------------------------------- suites
+
+    def generate(self, template: str, selectivity: Selectivity, count: int = 1) -> list[GeneratedQuery]:
+        fn = {"Q1": self.q1, "Q2": self.q2, "Q3": self.q3}[template.upper()]
+        return [fn(selectivity) for _ in range(count)]
+
+    def full_suite(self, per_cell: int = 1) -> list[GeneratedQuery]:
+        """Every (template × selectivity) combination."""
+        out: list[GeneratedQuery] = []
+        for template in ("Q1", "Q2", "Q3"):
+            for selectivity in Selectivity:
+                out.extend(self.generate(template, selectivity, per_cell))
+        return out

@@ -1,0 +1,7 @@
+"""Database facade: engine + optimizer + counters behind one object."""
+
+from repro.db.counters import CounterSet
+from repro.db.personality import Personality, MYSQL, POSTGRES
+from repro.db.database import Database, connect
+
+__all__ = ["CounterSet", "Personality", "MYSQL", "POSTGRES", "Database", "connect"]

@@ -1,0 +1,100 @@
+"""Deterministic execution counters.
+
+Wall-clock timings of a pure-Python engine are noisy and hardware
+dependent; the paper's *shapes* (who wins, where crossovers fall) are
+asserted on these counters instead.  ``cost_units`` aggregates them
+with PostgreSQL-inspired weights: sequential page = 1.0, random page =
+4.0, bitmap heap page = 2.0 (between the two, since bitmap heap visits
+are page-ordered), plus CPU terms for per-tuple work, predicate and
+policy evaluations, and UDF invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CostWeights:
+    seq_page: float = 1.0
+    random_page: float = 4.0
+    bitmap_page: float = 2.0
+    cpu_tuple: float = 0.01
+    cpu_predicate: float = 0.0025
+    cpu_policy: float = 0.0025
+    index_node: float = 0.005
+    udf_invocation: float = 0.5
+    udf_policy: float = 0.001
+
+
+@dataclass
+class CounterSet:
+    """Mutable counters accumulated during query execution."""
+
+    pages_sequential: int = 0
+    pages_random: int = 0
+    pages_bitmap: int = 0
+    tuples_scanned: int = 0
+    tuples_output: int = 0
+    predicate_evals: int = 0
+    policy_evals: int = 0
+    index_node_visits: int = 0
+    udf_invocations: int = 0
+    udf_policy_evals: int = 0
+    weights: CostWeights = field(default_factory=CostWeights)
+
+    _COUNTER_NAMES = (
+        "pages_sequential",
+        "pages_random",
+        "pages_bitmap",
+        "tuples_scanned",
+        "tuples_output",
+        "predicate_evals",
+        "policy_evals",
+        "index_node_visits",
+        "udf_invocations",
+        "udf_policy_evals",
+    )
+
+    def reset(self) -> None:
+        for name in self._COUNTER_NAMES:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self._COUNTER_NAMES}
+
+    def diff(self, before: dict[str, int]) -> dict[str, int]:
+        return {
+            name: getattr(self, name) - before.get(name, 0)
+            for name in self._COUNTER_NAMES
+        }
+
+    @property
+    def cost_units(self) -> float:
+        w = self.weights
+        return (
+            self.pages_sequential * w.seq_page
+            + self.pages_random * w.random_page
+            + self.pages_bitmap * w.bitmap_page
+            + self.tuples_scanned * w.cpu_tuple
+            + self.predicate_evals * w.cpu_predicate
+            + self.policy_evals * w.cpu_policy
+            + self.index_node_visits * w.index_node
+            + self.udf_invocations * w.udf_invocation
+            + self.udf_policy_evals * w.udf_policy
+        )
+
+    @staticmethod
+    def cost_of(snapshot_diff: dict[str, int], weights: CostWeights | None = None) -> float:
+        """Cost units of a snapshot diff (for per-query accounting)."""
+        w = weights or CostWeights()
+        temp = CounterSet(weights=w)
+        for name, value in snapshot_diff.items():
+            if name in CounterSet._COUNTER_NAMES:
+                setattr(temp, name, value)
+        return temp.cost_units
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{name}={getattr(self, name)}" for name in self._COUNTER_NAMES]
+        parts.append(f"cost_units={self.cost_units:.2f}")
+        return "CounterSet(" + ", ".join(parts) + ")"

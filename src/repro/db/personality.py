@@ -1,0 +1,52 @@
+"""DBMS personalities.
+
+The paper layers Sieve over MySQL and PostgreSQL and leans on features
+that differ between them (Sections 5.3, Experiments 4-5):
+
+* **MySQL** honours ``FORCE INDEX``/``USE INDEX()`` hints and uses one
+  access path per table reference; Sieve therefore rewrites guarded
+  expressions as a UNION of per-guard forced index scans.
+* **PostgreSQL** ignores hints but can OR multiple index scans through
+  in-memory bitmaps (BitmapOr + bitmap heap scan), visiting each heap
+  page once — which is where the larger speedups in Experiments 4-5
+  come from.
+
+A :class:`Personality` captures exactly those behavioural switches for
+the bundled engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Personality:
+    name: str
+    honors_index_hints: bool
+    supports_bitmap_or: bool
+    # Cost-model knobs used by the planner when comparing access paths.
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    bitmap_page_cost: float = 2.0
+    cpu_tuple_cost: float = 0.01
+    cpu_predicate_cost: float = 0.0025
+    index_node_cost: float = 0.005
+
+    def __str__(self) -> str:
+        return self.name
+
+
+MYSQL = Personality(name="mysql", honors_index_hints=True, supports_bitmap_or=False)
+POSTGRES = Personality(name="postgres", honors_index_hints=False, supports_bitmap_or=True)
+
+PERSONALITIES = {"mysql": MYSQL, "postgres": POSTGRES}
+
+
+def personality_by_name(name: str) -> Personality:
+    try:
+        return PERSONALITIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown personality {name!r}; choose from {sorted(PERSONALITIES)}"
+        ) from None

@@ -1,0 +1,52 @@
+"""Expression trees shared by the SQL front end and the policy model."""
+
+from repro.expr.nodes import (
+    Expr,
+    Literal,
+    ColumnRef,
+    Comparison,
+    Between,
+    InList,
+    And,
+    Or,
+    Not,
+    FuncCall,
+    Arith,
+    ScalarSubquery,
+    InSubquery,
+    Star,
+    CompareOp,
+)
+from repro.expr.eval import ExprCompiler, RowBinding
+from repro.expr.analysis import (
+    conjuncts,
+    disjuncts,
+    columns_referenced,
+    make_and,
+    make_or,
+)
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Comparison",
+    "Between",
+    "InList",
+    "And",
+    "Or",
+    "Not",
+    "FuncCall",
+    "Arith",
+    "ScalarSubquery",
+    "InSubquery",
+    "Star",
+    "CompareOp",
+    "ExprCompiler",
+    "RowBinding",
+    "conjuncts",
+    "disjuncts",
+    "columns_referenced",
+    "make_and",
+    "make_or",
+]

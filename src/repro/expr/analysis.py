@@ -1,0 +1,120 @@
+"""Structural analysis helpers over expression trees."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.expr.nodes import (
+    And,
+    Arith,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    ScalarSubquery,
+)
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten nested ANDs into a conjunct list (None -> [])."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: list[Expr] = []
+        for child in expr.children:
+            out.extend(conjuncts(child))
+        return out
+    return [expr]
+
+
+def disjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten nested ORs into a disjunct list (None -> [])."""
+    if expr is None:
+        return []
+    if isinstance(expr, Or):
+        out: list[Expr] = []
+        for child in expr.children:
+            out.extend(disjuncts(child))
+        return out
+    return [expr]
+
+
+def make_and(parts: list[Expr]) -> Expr | None:
+    """AND together parts, flattening; returns None for an empty list."""
+    flat: list[Expr] = []
+    for part in parts:
+        flat.extend(conjuncts(part))
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def make_or(parts: list[Expr]) -> Expr | None:
+    """OR together parts, flattening; returns None for an empty list."""
+    flat: list[Expr] = []
+    for part in parts:
+        flat.extend(disjuncts(part))
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    if isinstance(expr, (And, Or)):
+        for child in expr.children:
+            yield from walk(child)
+    elif isinstance(expr, Not):
+        yield from walk(expr.child)
+    elif isinstance(expr, Comparison):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, Between):
+        yield from walk(expr.expr)
+        yield from walk(expr.low)
+        yield from walk(expr.high)
+    elif isinstance(expr, InList):
+        yield from walk(expr.expr)
+        for item in expr.items:
+            yield from walk(item)
+    elif isinstance(expr, Arith):
+        yield from walk(expr.left)
+        yield from walk(expr.right)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from walk(arg)
+    elif isinstance(expr, IsNull):
+        yield from walk(expr.child)
+    elif isinstance(expr, InSubquery):
+        yield from walk(expr.expr)
+    # Literal, ColumnRef, ScalarSubquery, Star are leaves here. Subquery
+    # internals are owned by the SQL layer and analysed there.
+
+
+def columns_referenced(expr: Expr) -> set[ColumnRef]:
+    """All column references in the tree (not descending into subqueries)."""
+    return {node for node in walk(expr) if isinstance(node, ColumnRef)}
+
+
+def contains_subquery(expr: Expr) -> bool:
+    return any(isinstance(node, (ScalarSubquery, InSubquery)) for node in walk(expr))
+
+
+def is_constant(expr: Expr) -> bool:
+    """True when the expression references no columns or subqueries."""
+    for node in walk(expr):
+        if isinstance(node, (ColumnRef, ScalarSubquery, InSubquery)):
+            return False
+    return True

@@ -1,0 +1,213 @@
+"""Expression tree nodes.
+
+One expression vocabulary serves three consumers: the SQL parser
+produces these nodes, policies compile their object conditions into
+them, and the execution engine evaluates them against rows.  Nodes are
+immutable dataclasses so they can be shared freely between rewritten
+queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+class CompareOp(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def flip(self) -> "CompareOp":
+        """The operator with operand sides swapped (a < b  <=>  b > a)."""
+        return {
+            CompareOp.EQ: CompareOp.EQ,
+            CompareOp.NE: CompareOp.NE,
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LE: CompareOp.GE,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GE: CompareOp.LE,
+        }[self]
+
+    def negate(self) -> "CompareOp":
+        return {
+            CompareOp.EQ: CompareOp.NE,
+            CompareOp.NE: CompareOp.EQ,
+            CompareOp.LT: CompareOp.GE,
+            CompareOp.LE: CompareOp.GT,
+            CompareOp.GT: CompareOp.LE,
+            CompareOp.GE: CompareOp.LT,
+        }[self]
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    op: CompareOp
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"{self.expr} {word} {self.low} AND {self.high}"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    expr: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(str(i) for i in self.items)
+        return f"{self.expr} {word} ({inner})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    children: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    children: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    child: Expr
+
+    def __str__(self) -> str:
+        return f"NOT ({self.child})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function application: aggregate, builtin, or registered UDF."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    op: str  # one of + - * / %
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A parenthesised SELECT used as a value (possibly correlated).
+
+    ``select`` is a ``repro.sql.ast.Query``; typed as Any here to keep
+    the expression package free of an import cycle with the SQL AST.
+    """
+
+    select: Any = field(hash=False)
+
+    def __str__(self) -> str:
+        return f"({self.select})"
+
+    def __hash__(self) -> int:  # Select is unhashable; identity is fine here
+        return id(self.select)
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT ...)``; the subquery must be uncorrelated."""
+
+    expr: Expr
+    select: Any = field(hash=False)
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        return f"{self.expr} {word} ({self.select})"
+
+    def __hash__(self) -> int:
+        return hash((id(self.select), self.expr, self.negated))
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS NULL`` (NOT NULL is expressed as Not(IsNull(...)))."""
+
+    child: Expr
+
+    def __str__(self) -> str:
+        return f"{self.child} IS NULL"
+
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    return isinstance(expr, FuncCall) and expr.name.lower() in AGGREGATE_FUNCTIONS

@@ -1,0 +1,7 @@
+"""Index substrate: B+-tree, hash index, and row-id bitmaps."""
+
+from repro.index.btree import BPlusTreeIndex
+from repro.index.hashindex import HashIndex
+from repro.index.bitmap import RowIdBitmap
+
+__all__ = ["BPlusTreeIndex", "HashIndex", "RowIdBitmap"]

@@ -1,0 +1,74 @@
+"""Row-id bitmaps.
+
+PostgreSQL combines multiple index scans by building per-scan bitmaps,
+OR-ing them in memory, and visiting each heap page once ("bitmap heap
+scan").  Experiment 4 of the paper attributes much of Sieve's Postgres
+speedup to exactly this, so the engine needs a faithful bitmap.
+
+Backed by a single Python int used as a bitset: union/intersection are
+one C-level operation regardless of cardinality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class RowIdBitmap:
+    """An immutable-ish set of rowids with cheap boolean algebra."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: int = 0):
+        self._bits = bits
+
+    @classmethod
+    def from_rowids(cls, rowids: Iterable[int]) -> "RowIdBitmap":
+        bits = 0
+        for rid in rowids:
+            bits |= 1 << rid
+        return cls(bits)
+
+    def add(self, rowid: int) -> None:
+        self._bits |= 1 << rowid
+
+    def __contains__(self, rowid: int) -> bool:
+        return bool(self._bits >> rowid & 1)
+
+    def __or__(self, other: "RowIdBitmap") -> "RowIdBitmap":
+        return RowIdBitmap(self._bits | other._bits)
+
+    def __and__(self, other: "RowIdBitmap") -> "RowIdBitmap":
+        return RowIdBitmap(self._bits & other._bits)
+
+    def __len__(self) -> int:
+        return self._bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowIdBitmap) and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def iter_sorted(self) -> Iterator[int]:
+        """Rowids in ascending order — the property that makes the heap
+        visit sequential-ish (each page touched once, in order)."""
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def pages(self, page_size: int) -> list[int]:
+        """Distinct page numbers covered, ascending."""
+        seen: list[int] = []
+        last = -1
+        for rid in self.iter_sorted():
+            page = rid // page_size
+            if page != last:
+                seen.append(page)
+                last = page
+        return seen

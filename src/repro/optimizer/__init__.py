@@ -1,0 +1,17 @@
+"""Optimizer: statistics, cardinality estimation, planning, EXPLAIN."""
+
+from repro.optimizer.stats import ColumnStats, TableStats, StatsCatalog, EquiDepthHistogram
+from repro.optimizer.cardinality import estimate_selectivity
+from repro.optimizer.planner import Planner
+from repro.optimizer.explain import explain_plan, ExplainNode
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "StatsCatalog",
+    "EquiDepthHistogram",
+    "estimate_selectivity",
+    "Planner",
+    "explain_plan",
+    "ExplainNode",
+]

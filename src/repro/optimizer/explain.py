@@ -1,0 +1,115 @@
+"""EXPLAIN: render plan trees and expose structured access-path info.
+
+Sieve's strategy selector (paper Section 5.5) "runs the EXPLAIN of
+query Qi which returns ... for each relation the particular access
+strategy the optimizer plans to use and the estimated selectivity".
+:func:`access_summary` is that structured view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.plans import (
+    BitmapOrPlan,
+    CTEScanPlan,
+    IndexNLJoinPlan,
+    IndexScanPlan,
+    PlanNode,
+    SeqScanPlan,
+)
+
+
+@dataclass
+class ExplainNode:
+    name: str
+    detail: str
+    est_rows: float
+    est_cost: float
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        line = f"{pad}-> {self.name}"
+        if self.detail:
+            line += f" [{self.detail}]"
+        line += f" (rows={self.est_rows:.0f} cost={self.est_cost:.2f})"
+        parts = [line]
+        for child in self.children:
+            parts.append(child.render(indent + 1))
+        return "\n".join(parts)
+
+
+def explain_plan(plan: PlanNode) -> ExplainNode:
+    """Convert a plan tree into a printable ExplainNode tree."""
+    node = ExplainNode(
+        name=plan.node_name,
+        detail=plan.describe(),
+        est_rows=plan.est_rows,
+        est_cost=plan.est_cost,
+    )
+    for child in plan.children():
+        if child is not None:
+            node.children.append(explain_plan(child))
+    return node
+
+
+@dataclass
+class TableAccess:
+    """How one table reference will be accessed."""
+
+    table: str
+    alias: str
+    method: str  # "seq" | "index" | "bitmap-or" | "index-nl-inner" | "cte"
+    index_name: str | None
+    est_rows: float
+    est_cost: float
+
+
+def access_summary(plan: PlanNode) -> list[TableAccess]:
+    """All base-table access paths appearing in a plan tree."""
+    out: list[TableAccess] = []
+    _collect_access(plan, out)
+    return out
+
+
+def _collect_access(plan: PlanNode, out: list[TableAccess]) -> None:
+    if isinstance(plan, SeqScanPlan):
+        out.append(
+            TableAccess(plan.table_name, plan.alias, "seq", None, plan.est_rows, plan.est_cost)
+        )
+    elif isinstance(plan, IndexScanPlan):
+        out.append(
+            TableAccess(
+                plan.table_name, plan.alias, "index", plan.index_name, plan.est_rows, plan.est_cost
+            )
+        )
+    elif isinstance(plan, BitmapOrPlan):
+        out.append(
+            TableAccess(
+                plan.table_name,
+                plan.alias,
+                "bitmap-or",
+                ",".join(ix for ix, _, _ in plan.arms),
+                plan.est_rows,
+                plan.est_cost,
+            )
+        )
+    elif isinstance(plan, IndexNLJoinPlan):
+        out.append(
+            TableAccess(
+                plan.inner_table,
+                plan.inner_alias,
+                "index-nl-inner",
+                plan.inner_index,
+                plan.est_rows,
+                plan.est_cost,
+            )
+        )
+    elif isinstance(plan, CTEScanPlan):
+        out.append(
+            TableAccess(plan.cte_name, plan.alias, "cte", None, plan.est_rows, plan.est_cost)
+        )
+    for child in plan.children():
+        if child is not None:
+            _collect_access(child, out)

@@ -1,0 +1,24 @@
+"""Access-control policy substrate: model, groups, persistence."""
+
+from repro.policy.model import (
+    DerivedValue,
+    ObjectCondition,
+    Policy,
+    QuerierCondition,
+    ANY_PURPOSE,
+)
+from repro.policy.groups import GroupDirectory
+from repro.policy.store import PolicyStore
+from repro.policy.algebra import DenyRule, factor_deny
+
+__all__ = [
+    "DerivedValue",
+    "ObjectCondition",
+    "Policy",
+    "QuerierCondition",
+    "ANY_PURPOSE",
+    "GroupDirectory",
+    "PolicyStore",
+    "DenyRule",
+    "factor_deny",
+]

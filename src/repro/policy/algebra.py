@@ -1,0 +1,143 @@
+"""Deny-policy factoring (paper Section 3.1).
+
+Sieve's enforcement model admits only *allow* policies; the paper
+handles deny policies by factoring them into the allows:
+
+    "given an explicit allow policy 'allow John access to my location'
+     and an overlapping deny policy 'deny everyone access to my
+     location when in my office', we can factor in the deny policy by
+     replacing the original allow policy by 'allow John access to my
+     location when I am in locations other than my office'."
+
+The paper states the idea without an algorithm; this module implements
+it for constant conditions.  Semantics: the allowed set of an allow
+policy ``A`` under deny ``D`` (same owner, covered querier/purpose) is
+``A ∧ ¬OC_D``.  ``¬(d₁ ∧ … ∧ d_n)`` distributes into n disjuncts
+``A ∧ ¬d_i``, and since policy sets are unions of conjunctive allows,
+each disjunct becomes its own allow policy.  Negating a single
+condition may itself split (a range becomes "below" ∨ "above"), so one
+allow × one deny yields up to ``Σ splits(d_i)`` allow policies, each a
+pure conjunction again — exactly what the guard machinery needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import PolicyError
+from repro.policy.model import ANY_PURPOSE, ObjectCondition, Policy
+
+
+@dataclass(frozen=True)
+class DenyRule:
+    """A deny policy: revokes access to the owner's tuples matching the
+    conditions, for the given querier scope ('*' = everyone)."""
+
+    owner: Any
+    conditions: tuple[ObjectCondition, ...]
+    querier: Any = "*"
+    purpose: str = ANY_PURPOSE
+
+    def applies_to_policy(self, policy: Policy) -> bool:
+        if policy.owner != self.owner:
+            return False
+        if self.querier != "*" and policy.querier != self.querier:
+            return False
+        if self.purpose != ANY_PURPOSE and policy.purpose != self.purpose:
+            return False
+        return True
+
+
+def negate_condition(oc: ObjectCondition) -> list[ObjectCondition]:
+    """The complement of one constant condition as a disjunct list."""
+    if oc.is_derived:
+        raise PolicyError("cannot negate derived-value conditions")
+    if oc.is_range:
+        lo_op = "<" if oc.op == ">=" else "<="
+        hi_op = ">" if oc.op2 == "<=" else ">="
+        return [
+            ObjectCondition(oc.attr, lo_op, oc.value),
+            ObjectCondition(oc.attr, hi_op, oc.value2),
+        ]
+    negations = {
+        "=": "!=",
+        "!=": "=",
+        "<": ">=",
+        "<=": ">",
+        ">": "<=",
+        ">=": "<",
+        "IN": "NOT IN",
+        "NOT IN": "IN",
+    }
+    return [ObjectCondition(oc.attr, negations[oc.op], oc.value)]
+
+
+def _conditions_conflict(a: ObjectCondition, b: ObjectCondition) -> bool:
+    """Cheap unsatisfiability check for a conjunction of two conditions
+    on the same attribute (used to prune empty factored policies)."""
+    if a.attr.lower() != b.attr.lower():
+        return False
+    ia, ib = a.interval(), b.interval()
+    if ia is not None and ib is not None:
+        return not ia.overlaps(ib)
+    # point vs strict bound: a = v conflicts with v excluded regions
+    if a.op == "=" and b.op in ("<", "<=", ">", ">="):
+        value = a.value
+        return not _satisfies(value, b)
+    if b.op == "=" and a.op in ("<", "<=", ">", ">="):
+        return not _satisfies(b.value, a)
+    if a.op == "=" and b.op == "!=":
+        return a.value == b.value
+    if b.op == "=" and a.op == "!=":
+        return a.value == b.value
+    return False
+
+
+def _satisfies(value: Any, oc: ObjectCondition) -> bool:
+    if oc.op == "<":
+        return value < oc.value
+    if oc.op == "<=":
+        return value <= oc.value
+    if oc.op == ">":
+        return value > oc.value
+    if oc.op == ">=":
+        return value >= oc.value
+    return True
+
+
+def factor_deny(
+    allow_policies: Sequence[Policy], deny_rules: Iterable[DenyRule]
+) -> list[Policy]:
+    """Rewrite allow policies so the deny rules are honoured.
+
+    Returns a new policy list in which every (applicable) deny rule has
+    been conjoined, negated, into the allows; unsatisfiable factored
+    conjunctions are pruned.  Policies untouched by any rule pass
+    through unchanged (identity preserved).
+    """
+    current: list[Policy] = list(allow_policies)
+    for rule in deny_rules:
+        next_round: list[Policy] = []
+        for policy in current:
+            if not rule.applies_to_policy(policy):
+                next_round.append(policy)
+                continue
+            for deny_condition in rule.conditions:
+                for negated in negate_condition(deny_condition):
+                    if any(
+                        _conditions_conflict(existing, negated)
+                        for existing in policy.object_conditions
+                    ):
+                        continue  # empty region: drop this disjunct
+                    next_round.append(
+                        Policy(
+                            owner=policy.owner,
+                            querier=policy.querier,
+                            purpose=policy.purpose,
+                            table=policy.table,
+                            object_conditions=(*policy.object_conditions, negated),
+                        )
+                    )
+        current = next_round
+    return current

@@ -1,0 +1,110 @@
+"""User groups (paper Section 3.1).
+
+Users belong to hierarchical groups (undergrads ⊂ students); policies
+can name a group as querier, and the PQM filter asks "is this querier
+in the policy's group?".  The directory also persists itself into the
+``User_Groups`` / ``User_Group_Membership`` tables so SQL workloads
+(e.g. query template Q3) can join against it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.storage.schema import ColumnType, Schema
+
+GROUPS_TABLE = "User_Groups"
+MEMBERSHIP_TABLE = "User_Group_Membership"
+
+
+class GroupDirectory:
+    """Bidirectional user <-> group membership with group nesting."""
+
+    def __init__(self) -> None:
+        self._members: dict[Any, set[Any]] = defaultdict(set)  # group -> users
+        self._groups: dict[Any, set[Any]] = defaultdict(set)  # user -> groups
+        self._parents: dict[Any, set[Any]] = defaultdict(set)  # group -> supergroups
+        self._group_ids: dict[Any, int] = {}
+
+    # ------------------------------------------------------------- mutation
+
+    def add_group(self, group: Any, parent: Any | None = None) -> None:
+        if group not in self._group_ids:
+            self._group_ids[group] = len(self._group_ids) + 1
+        if parent is not None:
+            self.add_group(parent)
+            self._parents[group].add(parent)
+
+    def add_member(self, group: Any, user: Any) -> None:
+        self.add_group(group)
+        self._members[group].add(user)
+        self._groups[user].add(group)
+
+    def add_members(self, group: Any, users: Iterable[Any]) -> None:
+        for user in users:
+            self.add_member(group, user)
+
+    # --------------------------------------------------------------- lookup
+
+    def groups_of(self, user: Any) -> frozenset:
+        """All groups of a user, including transitive supergroups.
+
+        This is the paper's ``group(u_k)``.
+        """
+        direct = self._groups.get(user, set())
+        seen: set[Any] = set()
+        stack = list(direct)
+        while stack:
+            group = stack.pop()
+            if group in seen:
+                continue
+            seen.add(group)
+            stack.extend(self._parents.get(group, ()))
+        return frozenset(seen)
+
+    def members_of(self, group: Any) -> frozenset:
+        """All users in a group, including members of subgroups."""
+        out: set[Any] = set(self._members.get(group, ()))
+        for child, parents in self._parents.items():
+            if group in parents:
+                out |= self.members_of(child)
+        return frozenset(out)
+
+    def group_id(self, group: Any) -> int:
+        return self._group_ids[group]
+
+    def group_names(self) -> list[Any]:
+        return list(self._group_ids)
+
+    def __contains__(self, group: Any) -> bool:
+        return group in self._group_ids
+
+    # ---------------------------------------------------------- persistence
+
+    def install(self, db) -> None:
+        """Create and fill the group tables in a Database."""
+        if not db.catalog.has_table(GROUPS_TABLE):
+            db.create_table(
+                GROUPS_TABLE,
+                Schema.of(
+                    ("id", ColumnType.INT),
+                    ("name", ColumnType.VARCHAR),
+                    ("owner", ColumnType.VARCHAR),
+                ),
+            )
+            db.create_table(
+                MEMBERSHIP_TABLE,
+                Schema.of(
+                    ("user_group_id", ColumnType.INT),
+                    ("user_id", ColumnType.INT),
+                ),
+            )
+            db.create_index(MEMBERSHIP_TABLE, "user_group_id")
+            db.create_index(MEMBERSHIP_TABLE, "user_id")
+        for group, gid in self._group_ids.items():
+            db.insert_row(GROUPS_TABLE, (gid, str(group), "admin"))
+            for user in self._members.get(group, ()):
+                db.insert_row(MEMBERSHIP_TABLE, (gid, int(user)))
+        db.analyze(GROUPS_TABLE)
+        db.analyze(MEMBERSHIP_TABLE)

@@ -1,0 +1,281 @@
+"""Policy persistence (paper Section 5.1).
+
+Policies live in two relations, exactly as Sieve stores them:
+
+* ``rP``  (``sieve_policies``): one row per policy —
+  ``<id, owner, querier, associated_table, purpose, action, ts_inserted_at>``
+* ``rOC`` (``sieve_object_conditions``): one row per object condition —
+  ``<id, policy_id, attr_type, attr, op, val [, op2, val2]>`` where
+  ``val`` may hold a serialized constant, IN-list, or the SQL text of a
+  derived (nested-query) value.
+
+A write-through in-memory cache keeps Policy objects indexed by
+querier so that the PQM filter and the Δ operator never re-parse rows
+on the hot path.  Insert listeners let the guard store flip its
+``outdated`` flags (Section 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.errors import PolicyError
+from repro.policy.groups import GroupDirectory
+from repro.policy.model import ANY_PURPOSE, DerivedValue, ObjectCondition, Policy
+from repro.storage.schema import ColumnType, Schema
+
+POLICY_TABLE = "sieve_policies"
+CONDITION_TABLE = "sieve_object_conditions"
+
+
+def _serialize(value: Any) -> tuple[str, str]:
+    """(attr_type tag, string payload) for the rOC ``val`` column."""
+    if isinstance(value, DerivedValue):
+        return "derived", value.sql
+    if isinstance(value, bool):
+        return "bool", json.dumps(value)
+    if isinstance(value, int):
+        return "int", json.dumps(value)
+    if isinstance(value, float):
+        return "float", json.dumps(value)
+    if isinstance(value, str):
+        return "str", json.dumps(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return "list", json.dumps(sorted(value, key=repr))
+    raise PolicyError(f"cannot serialize policy value {value!r}")
+
+
+def _deserialize(tag: str, payload: str) -> Any:
+    if tag == "derived":
+        return DerivedValue(payload)
+    if tag in ("bool", "int", "float", "str", "list"):
+        return json.loads(payload)
+    raise PolicyError(f"unknown value tag {tag!r}")
+
+
+class PolicyStore:
+    """Policies persisted in the database plus a querier-keyed cache."""
+
+    def __init__(self, db, groups: GroupDirectory | None = None):
+        self.db = db
+        self.groups = groups or GroupDirectory()
+        self._by_id: dict[int, Policy] = {}
+        self._by_querier: dict[Any, list[Policy]] = defaultdict(list)
+        self._rowids: dict[int, tuple[int, list[int]]] = {}  # policy id -> (rP rowid, rOC rowids)
+        self._insert_clock = itertools.count(1)
+        self._listeners: list[Callable[[Policy], None]] = []
+        self._install()
+
+    def _install(self) -> None:
+        if not self.db.catalog.has_table(POLICY_TABLE):
+            self.db.create_table(
+                POLICY_TABLE,
+                Schema.of(
+                    ("id", ColumnType.INT),
+                    ("owner", ColumnType.VARCHAR),
+                    ("querier", ColumnType.VARCHAR),
+                    ("associated_table", ColumnType.VARCHAR),
+                    ("purpose", ColumnType.VARCHAR),
+                    ("action", ColumnType.VARCHAR),
+                    ("ts_inserted_at", ColumnType.INT),
+                ),
+            )
+            self.db.create_index(POLICY_TABLE, "querier", kind="hash")
+            self.db.create_index(POLICY_TABLE, "id", kind="hash")
+            self.db.create_table(
+                CONDITION_TABLE,
+                Schema.of(
+                    ("id", ColumnType.INT),
+                    ("policy_id", ColumnType.INT),
+                    ("attr_type", ColumnType.VARCHAR),
+                    ("attr", ColumnType.VARCHAR),
+                    ("op", ColumnType.VARCHAR),
+                    ("val", ColumnType.VARCHAR),
+                    ("op2", ColumnType.VARCHAR),
+                    ("val2", ColumnType.VARCHAR),
+                ),
+            )
+            self.db.create_index(CONDITION_TABLE, "policy_id", kind="hash")
+
+    # -------------------------------------------------------------- writes
+
+    def add_listener(self, fn: Callable[[Policy], None]) -> None:
+        """Called after every policy insert (guard-store invalidation)."""
+        self._listeners.append(fn)
+
+    def insert(self, policy: Policy) -> Policy:
+        """Persist one policy; returns it stamped with an insert time."""
+        if policy.id in self._by_id:
+            raise PolicyError(f"duplicate policy id {policy.id}")
+        stamped = Policy(
+            owner=policy.owner,
+            querier=policy.querier,
+            purpose=policy.purpose,
+            table=policy.table,
+            object_conditions=policy.object_conditions,
+            action=policy.action,
+            id=policy.id,
+            inserted_at=next(self._insert_clock),
+        )
+        rp_rowid = self.db.insert_row(
+            POLICY_TABLE,
+            (
+                stamped.id,
+                str(stamped.owner),
+                str(stamped.querier),
+                stamped.table,
+                stamped.purpose,
+                stamped.action,
+                stamped.inserted_at,
+            ),
+        )
+        oc_rowids: list[int] = []
+        cond_table = self.db.catalog.table(CONDITION_TABLE)
+        next_cond_id = cond_table.slot_count + 1
+        for oc in stamped.object_conditions:
+            tag, payload = _serialize(oc.value)
+            payload2 = ""
+            if oc.op2 is not None:
+                # Range bounds share the value's type; one tag covers both.
+                payload2 = _serialize(oc.value2)[1]
+            oc_rowids.append(
+                self.db.insert_row(
+                    CONDITION_TABLE,
+                    (
+                        next_cond_id,
+                        stamped.id,
+                        tag,
+                        oc.attr,
+                        oc.op,
+                        payload,
+                        oc.op2 or "",
+                        payload2,
+                    ),
+                )
+            )
+            next_cond_id += 1
+        self._by_id[stamped.id] = stamped
+        self._by_querier[stamped.querier].append(stamped)
+        self._rowids[stamped.id] = (rp_rowid, oc_rowids)
+        for listener in self._listeners:
+            listener(stamped)
+        return stamped
+
+    def insert_many(self, policies: Iterable[Policy]) -> int:
+        count = 0
+        for policy in policies:
+            self.insert(policy)
+            count += 1
+        return count
+
+    def delete(self, policy_id: int) -> None:
+        policy = self._by_id.pop(policy_id, None)
+        if policy is None:
+            raise PolicyError(f"unknown policy id {policy_id}")
+        self._by_querier[policy.querier].remove(policy)
+        rp_rowid, oc_rowids = self._rowids.pop(policy_id)
+        self.db.delete_row(POLICY_TABLE, rp_rowid)
+        for rowid in oc_rowids:
+            self.db.delete_row(CONDITION_TABLE, rowid)
+        for listener in self._listeners:
+            listener(policy)
+
+    # --------------------------------------------------------------- reads
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def get(self, policy_id: int) -> Policy:
+        try:
+            return self._by_id[policy_id]
+        except KeyError:
+            raise PolicyError(f"unknown policy id {policy_id}") from None
+
+    def all_policies(self) -> list[Policy]:
+        return list(self._by_id.values())
+
+    def policies_for(
+        self, querier: Any, purpose: str, table: str | None = None
+    ) -> list[Policy]:
+        """The PQM filter (Section 3.2): policies relevant to a query's
+        metadata — defined for this querier directly or via any of the
+        querier's groups, with a matching (or 'any') purpose."""
+        groups = self.groups.groups_of(querier)
+        keys = [querier, *groups]
+        seen: set[int] = set()
+        out: list[Policy] = []
+        for key in keys:
+            for policy in self._by_querier.get(key, ()):
+                if policy.id in seen:
+                    continue
+                if purpose != policy.purpose and policy.purpose != ANY_PURPOSE:
+                    continue
+                if table is not None and policy.table.lower() != table.lower():
+                    continue
+                seen.add(policy.id)
+                out.append(policy)
+        return out
+
+    def queriers(self) -> list[Any]:
+        """All distinct querier values with at least one policy."""
+        return [q for q, ps in self._by_querier.items() if ps]
+
+    def tables_with_policies(self) -> set[str]:
+        return {p.table.lower() for p in self._by_id.values()}
+
+    # ------------------------------------------------------------ reload
+
+    def reload_from_database(self) -> int:
+        """Rebuild the cache from the rP/rOC tables (crash-recovery path,
+        exercised by tests to prove persistence round-trips)."""
+        self._by_id.clear()
+        self._by_querier.clear()
+        self._rowids.clear()
+        conditions: dict[int, list[tuple[int, ObjectCondition]]] = defaultdict(list)
+        cond_rowids: dict[int, list[int]] = defaultdict(list)
+        cond_table = self.db.catalog.table(CONDITION_TABLE)
+        for rowid, row in cond_table.scan():
+            cond_id, policy_id, tag, attr, op, val, op2, val2 = row
+            value = _deserialize(tag, val)
+            oc = ObjectCondition(
+                attr=attr,
+                op=op,
+                value=value,
+                op2=op2 or None,
+                value2=_deserialize(tag, val2) if op2 else None,
+            )
+            conditions[policy_id].append((cond_id, oc))
+            cond_rowids[policy_id].append(rowid)
+        policy_table = self.db.catalog.table(POLICY_TABLE)
+        max_clock = 0
+        for rowid, row in policy_table.scan():
+            pid, owner, querier, table, purpose, action, inserted_at = row
+            ocs = tuple(oc for _, oc in sorted(conditions[pid], key=lambda t: t[0]))
+            owner_value = self._parse_identity(owner)
+            policy = Policy(
+                owner=owner_value,
+                querier=self._parse_identity(querier),
+                purpose=purpose,
+                table=table,
+                object_conditions=ocs,
+                action=action,
+                id=pid,
+                inserted_at=inserted_at,
+            )
+            self._by_id[pid] = policy
+            self._by_querier[policy.querier].append(policy)
+            self._rowids[pid] = (rowid, cond_rowids[pid])
+            max_clock = max(max_clock, inserted_at)
+        self._insert_clock = itertools.count(max_clock + 1)
+        return len(self._by_id)
+
+    @staticmethod
+    def _parse_identity(text: str) -> Any:
+        """Owner/querier columns are VARCHAR; recover ints when possible."""
+        try:
+            return int(text)
+        except (TypeError, ValueError):
+            return text

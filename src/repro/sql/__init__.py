@@ -1,0 +1,32 @@
+"""SQL front end: lexer, AST, parser, and SQL printer."""
+
+from repro.sql.ast import (
+    CTE,
+    DerivedTable,
+    IndexHint,
+    JoinClause,
+    OrderItem,
+    Query,
+    Select,
+    SelectItem,
+    SetOp,
+    TableRef,
+)
+from repro.sql.parser import parse_query, parse_expression
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "CTE",
+    "DerivedTable",
+    "IndexHint",
+    "JoinClause",
+    "OrderItem",
+    "Query",
+    "Select",
+    "SelectItem",
+    "SetOp",
+    "TableRef",
+    "parse_query",
+    "parse_expression",
+    "to_sql",
+]

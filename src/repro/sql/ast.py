@@ -1,0 +1,149 @@
+"""SQL AST nodes.
+
+The dialect covers what the paper's queries and Sieve's rewrites need:
+SELECT (DISTINCT) with expressions and aliases, FROM with base tables,
+derived tables and INNER JOIN ... ON, index-usage hints on table refs
+(FORCE/USE/IGNORE INDEX), WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, WITH
+CTEs, and UNION [ALL] / EXCEPT / INTERSECT set operations.  Scalar and
+IN subqueries appear as expression nodes (see ``repro.expr``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.expr.nodes import Expr
+
+
+@dataclass
+class IndexHint:
+    """MySQL-style index usage hint attached to a table reference.
+
+    ``kind`` is FORCE / USE / IGNORE.  ``USE INDEX ()`` with no names is
+    the paper's way of telling the optimizer to avoid all indexes
+    (Section 5.5, LinearScan strategy).
+    """
+
+    kind: str  # "FORCE" | "USE" | "IGNORE"
+    index_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.kind = self.kind.upper()
+        if self.kind not in ("FORCE", "USE", "IGNORE"):
+            raise ValueError(f"bad hint kind {self.kind!r}")
+
+
+@dataclass
+class TableRef:
+    """A base-table (or CTE) reference with optional alias and hint."""
+
+    name: str
+    alias: str | None = None
+    hint: IndexHint | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class DerivedTable:
+    """A parenthesised subquery in FROM, always aliased."""
+
+    query: "Query"
+    alias: str
+
+
+FromItem = Union[TableRef, DerivedTable]
+
+
+@dataclass
+class JoinClause:
+    """An explicit INNER JOIN; the engine treats all joins as inner."""
+
+    item: FromItem
+    condition: Expr | None  # None for CROSS JOIN
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        # ColumnRef falls back to its bare column name, everything else
+        # to its printed form.
+        from repro.expr.nodes import ColumnRef
+
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return str(self.expr)
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    """One SELECT block."""
+
+    items: list[SelectItem]
+    from_items: list[FromItem] = field(default_factory=list)
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+
+@dataclass
+class SetOp:
+    """A set operation over two select cores."""
+
+    op: str  # "UNION" | "EXCEPT" | "INTERSECT"
+    left: "SelectCore"
+    right: "SelectCore"
+    all: bool = False  # UNION ALL
+
+    def __post_init__(self) -> None:
+        self.op = self.op.upper()
+        if self.op == "MINUS":  # Oracle spelling used in the paper
+            self.op = "EXCEPT"
+        if self.op not in ("UNION", "EXCEPT", "INTERSECT"):
+            raise ValueError(f"bad set op {self.op!r}")
+
+
+SelectCore = Union[Select, SetOp]
+
+
+@dataclass
+class CTE:
+    name: str
+    query: "Query"
+
+
+@dataclass
+class Query:
+    """A full statement: optional WITH list plus a select core."""
+
+    body: SelectCore
+    ctes: list[CTE] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)

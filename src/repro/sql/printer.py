@@ -1,0 +1,110 @@
+"""AST -> SQL text.
+
+Round-trips with the parser (``parse(to_sql(q))`` is structurally equal
+to ``q``), which the property tests verify.  Index hints print in
+MySQL's ``FORCE INDEX (name, ...)`` syntax, matching the paper's
+rewrites.
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import Expr
+from repro.sql.ast import (
+    CTE,
+    DerivedTable,
+    FromItem,
+    JoinClause,
+    OrderItem,
+    Query,
+    Select,
+    SelectCore,
+    SelectItem,
+    SetOp,
+    TableRef,
+)
+
+
+def to_sql(node: Query | SelectCore | Expr) -> str:
+    """Render a Query, Select/SetOp, or expression as SQL text."""
+    if isinstance(node, Query):
+        return _print_query(node)
+    if isinstance(node, (Select, SetOp)):
+        return _print_core(node)
+    return str(node)
+
+
+def _print_query(query: Query) -> str:
+    parts: list[str] = []
+    if query.ctes:
+        ctes = ", ".join(f"{c.name} AS ({_print_query(c.query)})" for c in query.ctes)
+        parts.append(f"WITH {ctes}")
+    parts.append(_print_core(query.body))
+    return " ".join(parts)
+
+
+def _print_core(core: SelectCore) -> str:
+    if isinstance(core, SetOp):
+        op = core.op + (" ALL" if core.all else "")
+        return f"{_print_operand(core.left)} {op} {_print_operand(core.right)}"
+    return _print_select(core)
+
+
+def _print_operand(core: SelectCore) -> str:
+    # Parenthesise nested set operations to preserve associativity.
+    if isinstance(core, SetOp):
+        return f"({_print_core(core)})"
+    return _print_select(core)
+
+
+def _print_select(select: Select) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_print_item(i) for i in select.items))
+    if select.from_items or select.joins:
+        parts.append("FROM")
+        from_parts = [_print_from_item(f) for f in select.from_items]
+        parts.append(", ".join(from_parts))
+        for join in select.joins:
+            parts.append(_print_join(join))
+    if select.where is not None:
+        parts.append(f"WHERE {select.where}")
+    if select.group_by:
+        parts.append("GROUP BY " + ", ".join(str(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append(f"HAVING {select.having}")
+    if select.order_by:
+        parts.append("ORDER BY " + ", ".join(_print_order(o) for o in select.order_by))
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+    return " ".join(parts)
+
+
+def _print_item(item: SelectItem) -> str:
+    text = str(item.expr)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _print_from_item(item: FromItem) -> str:
+    if isinstance(item, DerivedTable):
+        return f"({_print_query(item.query)}) AS {item.alias}"
+    assert isinstance(item, TableRef)
+    text = item.name
+    if item.alias:
+        text += f" AS {item.alias}"
+    if item.hint is not None:
+        names = ", ".join(item.hint.index_names)
+        text += f" {item.hint.kind} INDEX ({names})"
+    return text
+
+
+def _print_join(join: JoinClause) -> str:
+    if join.condition is None:
+        return f"CROSS JOIN {_print_from_item(join.item)}"
+    return f"INNER JOIN {_print_from_item(join.item)} ON {join.condition}"
+
+
+def _print_order(item: OrderItem) -> str:
+    return f"{item.expr} {'ASC' if item.ascending else 'DESC'}"

@@ -1,0 +1,227 @@
+"""Non-SELECT statements: DML (INSERT/UPDATE/DELETE) and DDL.
+
+Grammar::
+
+    insert  := INSERT INTO ident ["(" cols ")"] VALUES tuple ("," tuple)*
+             | INSERT INTO ident ["(" cols ")"] query
+    delete  := DELETE FROM ident [WHERE expr]
+    update  := UPDATE ident SET ident "=" expr ("," ident "=" expr)* [WHERE expr]
+    create  := CREATE TABLE ident "(" ident type ("," ident type)* ")"
+             | CREATE [UNIQUE] INDEX [ident] ON ident "(" ident ")" [USING (BTREE|HASH)]
+    drop    := DROP TABLE ident
+    analyze := ANALYZE [ident]
+
+Statements are parsed by :func:`parse_statement`, which falls through
+to :func:`repro.sql.parser.parse_query` for SELECT/WITH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.common.errors import ParseError
+from repro.expr.nodes import Expr
+from repro.sql.ast import Query
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import _Parser
+
+TYPE_NAMES = {
+    "int": "INT",
+    "integer": "INT",
+    "float": "FLOAT",
+    "double": "FLOAT",
+    "real": "FLOAT",
+    "varchar": "VARCHAR",
+    "text": "VARCHAR",
+    "string": "VARCHAR",
+    "bool": "BOOL",
+    "boolean": "BOOL",
+    "time": "TIME",
+    "date": "DATE",
+}
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str] = field(default_factory=list)  # empty = schema order
+    rows: list[list[Expr]] = field(default_factory=list)
+    source: Query | None = None  # INSERT INTO ... SELECT
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    assignments: list[tuple[str, Expr]] = field(default_factory=list)
+    where: Expr | None = None
+
+
+@dataclass
+class CreateTableStatement:
+    table: str
+    columns: list[tuple[str, str]] = field(default_factory=list)  # (name, TYPE)
+
+
+@dataclass
+class CreateIndexStatement:
+    table: str
+    column: str
+    name: str | None = None
+    kind: str = "btree"
+
+
+@dataclass
+class DropTableStatement:
+    table: str
+
+
+@dataclass
+class AnalyzeStatement:
+    table: str | None = None
+
+
+Statement = Union[
+    Query,
+    InsertStatement,
+    DeleteStatement,
+    UpdateStatement,
+    CreateTableStatement,
+    CreateIndexStatement,
+    DropTableStatement,
+    AnalyzeStatement,
+]
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse any supported statement (SELECT falls through to Query)."""
+    parser = _StatementParser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.expect_eof()
+    return statement
+
+
+class _StatementParser(_Parser):
+    def parse_statement(self) -> Statement:
+        if self._cur.is_keyword("insert"):
+            return self._parse_insert()
+        if self._cur.is_keyword("delete"):
+            return self._parse_delete()
+        if self._cur.is_keyword("update"):
+            return self._parse_update()
+        if self._cur.is_keyword("create"):
+            return self._parse_create()
+        if self._cur.is_keyword("drop"):
+            return self._parse_drop()
+        if self._cur.is_keyword("analyze"):
+            return self._parse_analyze()
+        return self.parse_query()
+
+    # ------------------------------------------------------------------ DML
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_ident()
+        columns: list[str] = []
+        if self._cur.type is TokenType.PUNCT and self._cur.value == "(":
+            self._advance()
+            columns.append(self._expect_ident())
+            while self._accept_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        if self._cur.is_keyword("select", "with"):
+            return InsertStatement(table, columns, source=self.parse_query())
+        self._expect_keyword("values")
+        rows: list[list[Expr]] = [self._parse_value_tuple()]
+        while self._accept_punct(","):
+            rows.append(self._parse_value_tuple())
+        return InsertStatement(table, columns, rows=rows)
+
+    def _parse_value_tuple(self) -> list[Expr]:
+        self._expect_punct("(")
+        values = [self.parse_expr()]
+        while self._accept_punct(","):
+            values.append(self.parse_expr())
+        self._expect_punct(")")
+        return values
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_ident()
+        where = self.parse_expr() if self._accept_keyword("where") else None
+        return DeleteStatement(table, where)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("update")
+        table = self._expect_ident()
+        self._expect_keyword("set")
+        assignments: list[tuple[str, Expr]] = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self._accept_keyword("where") else None
+        return UpdateStatement(table, assignments, where)
+
+    def _parse_assignment(self) -> tuple[str, Expr]:
+        column = self._expect_ident()
+        token = self._advance()
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise ParseError("expected '=' in SET assignment", token.position)
+        return column, self.parse_expr()
+
+    # ------------------------------------------------------------------ DDL
+
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("create")
+        if self._accept_keyword("table"):
+            table = self._expect_ident()
+            self._expect_punct("(")
+            columns = [self._parse_column_def()]
+            while self._accept_punct(","):
+                columns.append(self._parse_column_def())
+            self._expect_punct(")")
+            return CreateTableStatement(table, columns)
+        if self._accept_keyword("index"):
+            name: str | None = None
+            if self._cur.type is TokenType.IDENT and not self._cur.is_keyword("on"):
+                name = self._expect_ident()
+            self._expect_keyword("on")
+            table = self._expect_ident()
+            self._expect_punct("(")
+            column = self._expect_ident()
+            self._expect_punct(")")
+            kind = "btree"
+            if self._accept_keyword("using"):
+                kind_token = self._expect_ident()
+                kind = kind_token.lower()
+                if kind not in ("btree", "hash"):
+                    raise ParseError(f"unknown index kind {kind!r}")
+            return CreateIndexStatement(table, column, name, kind)
+        raise ParseError(f"expected TABLE or INDEX after CREATE, found {self._cur}",
+                         self._cur.position)
+
+    def _parse_column_def(self) -> tuple[str, str]:
+        name = self._expect_ident()
+        type_token = self._expect_ident()
+        type_name = TYPE_NAMES.get(type_token.lower())
+        if type_name is None:
+            raise ParseError(f"unknown column type {type_token!r}")
+        return name, type_name
+
+    def _parse_drop(self) -> DropTableStatement:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        return DropTableStatement(self._expect_ident())
+
+    def _parse_analyze(self) -> AnalyzeStatement:
+        self._expect_keyword("analyze")
+        if self._cur.type is TokenType.IDENT:
+            return AnalyzeStatement(self._expect_ident())
+        return AnalyzeStatement()

@@ -1,0 +1,7 @@
+"""Storage substrate: column types, schemas, paged heap tables, catalog."""
+
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import HeapTable
+from repro.storage.catalog import Catalog
+
+__all__ = ["Column", "ColumnType", "Schema", "HeapTable", "Catalog"]

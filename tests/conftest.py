@@ -1,0 +1,99 @@
+"""Shared fixtures: small databases, policy factories, datasets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.database import connect
+from repro.datasets.policies import generate_campus_policies
+from repro.datasets.tippers import TippersConfig, generate_tippers
+from repro.policy.groups import GroupDirectory
+from repro.policy.model import ObjectCondition, Policy
+from repro.policy.store import PolicyStore
+from repro.storage.schema import ColumnType, Schema
+
+WIFI_COLUMNS = ("id", "wifiap", "owner", "ts_time", "ts_date")
+
+
+def make_wifi_db(personality: str = "mysql", n_rows: int = 4000, seed: int = 1,
+                 n_owners: int = 40, n_aps: int = 32, page_size: int = 128):
+    """A small WiFi-events database with the standard indexes."""
+    rng = random.Random(seed)
+    db = connect(personality, page_size=page_size)
+    db.create_table(
+        "wifi",
+        Schema.of(
+            ("id", ColumnType.INT),
+            ("wifiap", ColumnType.INT),
+            ("owner", ColumnType.INT),
+            ("ts_time", ColumnType.INT),
+            ("ts_date", ColumnType.INT),
+        ),
+    )
+    rows = [
+        (i, rng.randrange(n_aps), rng.randrange(n_owners), rng.randrange(1440), rng.randrange(90))
+        for i in range(n_rows)
+    ]
+    db.insert("wifi", rows)
+    for col in ("owner", "wifiap", "ts_time", "ts_date"):
+        db.create_index("wifi", col)
+    db.analyze()
+    return db, rows
+
+
+def make_policies(n_owners: int = 40, querier: str = "prof", purpose: str = "analytics",
+                  seed: int = 2, per_owner: int = 2, table: str = "wifi",
+                  n_aps: int = 32) -> list[Policy]:
+    """Simple synthetic policies: every owner allows `querier` in some
+    time window / AP / date range combinations."""
+    rng = random.Random(seed)
+    out: list[Policy] = []
+    for owner in range(n_owners):
+        for _ in range(per_owner):
+            conds = [ObjectCondition("owner", "=", owner)]
+            kind = rng.randrange(3)
+            if kind == 0:
+                start = rng.randrange(0, 1200)
+                conds.append(ObjectCondition("ts_time", ">=", start, "<=", start + rng.randrange(60, 300)))
+            elif kind == 1:
+                conds.append(ObjectCondition("wifiap", "=", rng.randrange(n_aps)))
+            else:
+                start = rng.randrange(0, 60)
+                conds.append(ObjectCondition("ts_date", ">=", start, "<=", start + rng.randrange(5, 30)))
+            out.append(Policy(
+                owner=owner, querier=querier, purpose=purpose, table=table,
+                object_conditions=tuple(conds),
+            ))
+    return out
+
+
+def brute_force_allowed(rows, policies, columns=WIFI_COLUMNS):
+    """Reference implementation: rows allowed by at least one policy."""
+    from repro.expr.eval import ExprCompiler, RowBinding
+
+    binding = RowBinding.for_table("t", list(columns))
+    compiler = ExprCompiler(binding)
+    fns = [compiler.compile(p.object_expr()) for p in policies]
+    return [row for row in rows if any(fn(row) for fn in fns)]
+
+
+@pytest.fixture(scope="session")
+def wifi_db_mysql():
+    return make_wifi_db("mysql")
+
+
+@pytest.fixture(scope="session")
+def wifi_db_postgres():
+    return make_wifi_db("postgres")
+
+
+@pytest.fixture(scope="session")
+def tippers_small():
+    """A small but realistic campus dataset shared across tests."""
+    dataset = generate_tippers(TippersConfig(n_devices=200, days=15, seed=3))
+    campus = generate_campus_policies(dataset)
+    store = PolicyStore(dataset.db, dataset.groups)
+    store.insert_many(campus.policies)
+    return dataset, campus, store

@@ -1,0 +1,91 @@
+"""Bench support: runner measurements, result formatting, scenarios."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.results import format_table, write_result
+from repro.bench.runner import measure_engine
+from repro.bench.scenarios import policies_for_querier
+from repro.datasets import TippersConfig, generate_tippers
+
+from tests.conftest import make_wifi_db
+
+
+class TestRunner:
+    def test_measures_wall_and_counters(self):
+        db, _ = make_wifi_db(n_rows=500)
+        run = measure_engine("t", db, lambda: db.execute("SELECT * FROM wifi"), repeats=2)
+        assert run.wall_ms > 0
+        assert run.cost_units > 0
+        assert run.rows == 500
+        assert run.counters["tuples_scanned"] == 500  # per-run average
+
+    def test_warmup_excluded_from_measurement(self):
+        db, _ = make_wifi_db(n_rows=500)
+        calls = []
+
+        def work():
+            calls.append(1)
+            return db.execute("SELECT count(*) AS n FROM wifi")
+
+        run = measure_engine("t", db, work, repeats=1, warmup=True)
+        assert len(calls) == 2  # one warmup + one measured
+        assert run.counters["tuples_scanned"] == 500  # only the measured run
+
+    def test_soft_timeout_flags(self):
+        db, _ = make_wifi_db(n_rows=100)
+        run = measure_engine(
+            "t", db, lambda: db.execute("SELECT * FROM wifi"),
+            soft_timeout_s=0.0,
+        )
+        assert run.timed_out
+        assert run.row()[1].endswith("+")
+
+
+class TestResults:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "| a | b |" in text
+        assert "| 1 | 2.50 |" in text
+
+    def test_write_result_creates_files(self, tmp_path, monkeypatch):
+        import repro.bench.results as results_module
+
+        monkeypatch.setattr(results_module, "RESULTS_DIR", tmp_path)
+        path = write_result("t1", "Title", "|a|\n|---|\n|1|", data=[1, 2], notes="n")
+        assert path.exists()
+        assert (tmp_path / "t1.json").exists()
+        assert "Title" in path.read_text()
+
+
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return generate_tippers(TippersConfig(n_devices=60, days=8, seed=2))
+
+    def test_policies_for_querier_exact_count(self, tiny):
+        policies = policies_for_querier(tiny, "q", 40)
+        assert len(policies) == 40
+        assert all(p.querier == "q" for p in policies)
+
+    def test_community_structure(self, tiny):
+        """Owners repeat ~6 times, giving the paper's partition sizes."""
+        policies = policies_for_querier(tiny, "q", 120)
+        owners = [p.owner for p in policies]
+        avg_repeat = len(owners) / len(set(owners))
+        assert 3 <= avg_repeat <= 12
+
+    def test_deterministic(self, tiny):
+        a = policies_for_querier(tiny, "q", 30, seed=9)
+        b = policies_for_querier(tiny, "q", 30, seed=9)
+        assert [(p.owner, p.object_conditions) for p in a] == [
+            (p.owner, p.object_conditions) for p in b
+        ]
+
+    def test_heap_correlation_reflects_time_ordering(self, tiny):
+        """Events are time-sorted: date correlates with heap position,
+        owner does not — the layout the cost model exploits."""
+        stats = tiny.db.table_stats("WiFi_Dataset")
+        assert stats.column("ts_date").correlation > 0.9
+        assert stats.column("owner").correlation < 0.5

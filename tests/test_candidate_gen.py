@@ -1,0 +1,190 @@
+"""Candidate guard generation: Theorem 1 and its corollaries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.candidate_gen import (
+    CandidateGuard,
+    condition_cardinality,
+    generate_candidate_guards,
+)
+from repro.core.cost_model import SieveCostModel
+from repro.policy.model import ObjectCondition, Policy
+
+from tests.conftest import make_wifi_db
+
+INDEXED = frozenset({"owner", "wifiap", "ts_time", "ts_date"})
+
+
+def policy_with(owner, *conditions, querier="prof"):
+    return Policy(
+        owner=owner,
+        querier=querier,
+        purpose="analytics",
+        table="wifi",
+        object_conditions=(ObjectCondition("owner", "=", owner), *conditions),
+    )
+
+
+@pytest.fixture(scope="module")
+def stats():
+    db, _ = make_wifi_db(n_rows=6000, seed=8)
+    return db.table_stats("wifi")
+
+
+class TestEligibility:
+    def test_owner_condition_always_candidate(self, stats):
+        policies = [policy_with(i) for i in range(5)]
+        cg = generate_candidate_guards(policies, INDEXED, stats)
+        owner_values = {c.condition.value for c in cg if c.condition.attr == "owner"}
+        assert owner_values == {0, 1, 2, 3, 4}
+
+    def test_every_policy_covered_by_some_candidate(self, stats):
+        policies = [
+            policy_with(i, ObjectCondition("ts_time", ">=", 100 * i, "<=", 100 * i + 50))
+            for i in range(8)
+        ]
+        cg = generate_candidate_guards(policies, INDEXED, stats)
+        covered = set()
+        for c in cg:
+            covered |= c.policy_ids
+        assert covered == {p.id for p in policies}
+
+    def test_unindexed_attribute_skipped(self, stats):
+        p = policy_with(1, ObjectCondition("ts_time", "=", 300))
+        cg = generate_candidate_guards([p], frozenset({"owner"}), stats)
+        assert all(c.condition.attr == "owner" for c in cg)
+
+    def test_derived_conditions_skipped(self, stats):
+        from repro.policy.model import DerivedValue
+
+        p = policy_with(
+            1, ObjectCondition("wifiap", "=", DerivedValue("SELECT 1 AS x"))
+        )
+        cg = generate_candidate_guards([p], INDEXED, stats)
+        assert all(not c.condition.is_derived for c in cg)
+
+    def test_negations_not_guards(self, stats):
+        p = policy_with(1, ObjectCondition("wifiap", "!=", 3))
+        cg = generate_candidate_guards([p], INDEXED, stats)
+        assert all(c.condition.op != "!=" for c in cg)
+
+    def test_identical_conditions_dedup_into_one_candidate(self, stats):
+        shared = ObjectCondition("wifiap", "=", 7)
+        policies = [policy_with(i, shared) for i in range(4)]
+        cg = generate_candidate_guards(policies, INDEXED, stats)
+        wifiap_cands = [c for c in cg if c.condition == shared]
+        assert len(wifiap_cands) == 1
+        assert len(wifiap_cands[0].policy_ids) == 4
+
+
+class TestMerging:
+    def test_disjoint_ranges_never_merge(self, stats):
+        """Theorem 1: no benefit merging non-overlapping ranges."""
+        p1 = policy_with(1, ObjectCondition("ts_time", ">=", 100, "<=", 200))
+        p2 = policy_with(2, ObjectCondition("ts_time", ">=", 500, "<=", 600))
+        cg = generate_candidate_guards([p1, p2], INDEXED, stats)
+        merged = [c for c in cg if len(c.policy_ids) > 1 and c.condition.attr == "ts_time"]
+        assert merged == []
+
+    def test_heavily_overlapping_ranges_merge(self, stats):
+        cm = SieveCostModel(cr=1.0, ce=0.2)  # threshold ~0.167
+        p1 = policy_with(1, ObjectCondition("ts_time", ">=", 100, "<=", 500))
+        p2 = policy_with(2, ObjectCondition("ts_time", ">=", 120, "<=", 520))
+        cg = generate_candidate_guards([p1, p2], INDEXED, stats, cm)
+        merged = [c for c in cg if c.policy_ids == {p1.id, p2.id}]
+        assert merged, "overlap 380/420 >> threshold: should merge"
+        hull = merged[0].condition
+        assert (hull.value, hull.value2) == (100, 520)
+
+    def test_barely_overlapping_ranges_do_not_merge(self, stats):
+        cm = SieveCostModel(cr=1.0, ce=1.0)  # threshold 0.5: strict
+        p1 = policy_with(1, ObjectCondition("ts_time", ">=", 100, "<=", 300))
+        p2 = policy_with(2, ObjectCondition("ts_time", ">=", 290, "<=", 500))
+        cg = generate_candidate_guards([p1, p2], INDEXED, stats, cm)
+        merged = [c for c in cg if len(c.policy_ids) > 1 and c.condition.attr == "ts_time"]
+        assert merged == []  # intersection 10/400 << 0.5
+
+    def test_merge_threshold_follows_eq8(self):
+        cm = SieveCostModel(cr=1.0, ce=0.25)
+        assert cm.merge_threshold() == pytest.approx(0.2)
+
+    def test_transitive_merges_produced(self, stats):
+        cm = SieveCostModel(cr=1.0, ce=0.05)  # permissive threshold
+        ps = [
+            policy_with(i, ObjectCondition("ts_time", ">=", 100 + 30 * i, "<=", 400 + 30 * i))
+            for i in range(4)
+        ]
+        cg = generate_candidate_guards(ps, INDEXED, stats, cm)
+        sizes = {len(c.policy_ids) for c in cg if c.condition.attr == "ts_time"}
+        assert 4 in sizes  # chain merged into one covering candidate
+
+    def test_equalities_merge_only_when_equal(self, stats):
+        p1 = policy_with(1, ObjectCondition("wifiap", "=", 5))
+        p2 = policy_with(2, ObjectCondition("wifiap", "=", 5))
+        p3 = policy_with(3, ObjectCondition("wifiap", "=", 9))
+        cg = generate_candidate_guards([p1, p2, p3], INDEXED, stats)
+        five = [c for c in cg if c.condition.attr == "wifiap" and c.condition.value == 5]
+        assert len(five[0].policy_ids) == 2
+        multi = [
+            c for c in cg
+            if c.condition.attr == "wifiap" and len(c.policy_ids) > 2
+        ]
+        assert multi == []  # 5 and 9 are disjoint points
+
+    def test_originals_kept_alongside_merges(self, stats):
+        cm = SieveCostModel(cr=1.0, ce=0.05)
+        p1 = policy_with(1, ObjectCondition("ts_time", ">=", 100, "<=", 500))
+        p2 = policy_with(2, ObjectCondition("ts_time", ">=", 120, "<=", 520))
+        cg = generate_candidate_guards([p1, p2], INDEXED, stats, cm)
+        ts_conditions = {(c.condition.value, c.condition.value2)
+                         for c in cg if c.condition.attr == "ts_time"}
+        assert (100, 500) in ts_conditions  # original survives
+        assert (100, 520) in ts_conditions  # merge added
+
+
+class TestCardinality:
+    def test_condition_cardinality_shapes(self, stats):
+        eq = condition_cardinality(ObjectCondition("owner", "=", 3), stats)
+        rng = condition_cardinality(
+            ObjectCondition("ts_time", ">=", 0, "<=", 1439), stats
+        )
+        inl = condition_cardinality(ObjectCondition("wifiap", "IN", [1, 2]), stats)
+        assert 0 < eq < stats.row_count / 10
+        assert rng == pytest.approx(stats.row_count, rel=0.1)
+        assert 0 < inl < stats.row_count / 4
+
+    def test_unknown_column_default(self, stats):
+        got = condition_cardinality(ObjectCondition("mystery", "=", 1), stats)
+        assert got == pytest.approx(stats.row_count / 3)
+
+def test_cardinality_monotone_in_width():
+    db, _ = make_wifi_db(n_rows=6000, seed=8)
+    stats = db.table_stats("wifi")
+    small = condition_cardinality(ObjectCondition("ts_time", ">=", 300, "<=", 400), stats)
+    large = condition_cardinality(ObjectCondition("ts_time", ">=", 300, "<=", 800), stats)
+    assert large >= small
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1300), st.integers(10, 140)),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_candidates_always_cover_all_policies(windows):
+    """Coverage property: whatever the range structure, every policy is
+    reachable from at least one candidate (its owner condition)."""
+    db, _ = make_wifi_db(n_rows=2000, seed=8)
+    stats = db.table_stats("wifi")
+    policies = [
+        policy_with(i % 7, ObjectCondition("ts_time", ">=", s, "<=", s + w))
+        for i, (s, w) in enumerate(windows)
+    ]
+    cg = generate_candidate_guards(policies, INDEXED, stats)
+    covered = set()
+    for c in cg:
+        covered |= c.policy_ids
+    assert covered == {p.id for p in policies}

@@ -1,0 +1,91 @@
+"""Unit tests for repro.common: intervals, RNG, errors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import Interval, make_rng
+from repro.common.errors import ReproError, ParseError, PolicyError
+
+
+class TestInterval:
+    def test_contains_endpoints(self):
+        iv = Interval(3, 10)
+        assert iv.contains(3)
+        assert iv.contains(10)
+        assert iv.contains(7)
+        assert not iv.contains(2)
+        assert not iv.contains(11)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10, 3)
+
+    def test_degenerate_point_interval(self):
+        iv = Interval(5, 5)
+        assert iv.contains(5)
+        assert iv.overlaps(Interval(5, 9))
+        assert not iv.overlaps(Interval(6, 9))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Interval(1, 5), Interval(4, 9)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_disjoint_intervals(self):
+        assert not Interval(1, 3).overlaps(Interval(4, 6))
+        assert Interval(1, 4).overlaps(Interval(4, 6))  # closed: share 4
+
+    def test_intersection(self):
+        assert Interval(1, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(1, 2).intersection(Interval(3, 4)) is None
+
+    def test_hull(self):
+        assert Interval(1, 3).hull(Interval(7, 9)) == Interval(1, 9)
+
+    def test_covers(self):
+        assert Interval(1, 10).covers(Interval(3, 7))
+        assert not Interval(3, 7).covers(Interval(1, 10))
+
+    def test_works_with_strings(self):
+        iv = Interval("a", "m")
+        assert iv.contains("hello")
+        assert not iv.contains("z")
+
+    @given(
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)).map(sorted),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)).map(sorted),
+    )
+    def test_intersection_within_hull(self, ab, cd):
+        a = Interval(ab[0], ab[1])
+        b = Interval(cd[0], cd[1])
+        hull = a.hull(b)
+        assert hull.covers(a) and hull.covers(b)
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.covers(inter) and b.covers(inter)
+            assert a.overlaps(b)
+        else:
+            assert not a.overlaps(b)
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert make_rng(1, "x").random() == make_rng(1, "x").random()
+
+    def test_streams_decorrelated(self):
+        a = [make_rng(1, "a").random() for _ in range(3)]
+        b = [make_rng(1, "b").random() for _ in range(3)]
+        assert a != b
+
+    def test_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ParseError, ReproError)
+        assert issubclass(PolicyError, ReproError)
+
+    def test_parse_error_position(self):
+        err = ParseError("bad token", position=17)
+        assert "17" in str(err)
+        assert err.position == 17

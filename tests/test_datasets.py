@@ -1,0 +1,192 @@
+"""TIPPERS & Mall generators, policy corpus, and query workloads."""
+
+import pytest
+
+from repro.datasets import (
+    MallConfig,
+    QueryWorkload,
+    Selectivity,
+    TippersConfig,
+    generate_campus_policies,
+    generate_mall,
+    generate_tippers,
+)
+from repro.datasets.policies import PURPOSES, PolicyGenConfig
+from repro.datasets.tippers import PROFILE_FRACTIONS, PROFILES, WIFI_TABLE
+
+
+class TestTippersGenerator:
+    def test_schema_matches_paper_table2(self, tippers_small):
+        dataset, _, _ = tippers_small
+        db = dataset.db
+        for table in ("Users", "Location", "WiFi_Dataset", "User_Groups",
+                      "User_Group_Membership"):
+            assert db.catalog.has_table(table)
+        wifi = db.catalog.table(WIFI_TABLE)
+        assert wifi.schema.names == ["id", "wifiAP", "owner", "ts_time", "ts_date"]
+
+    def test_owner_indexed_as_paper_assumes(self, tippers_small):
+        dataset, _, _ = tippers_small
+        assert "owner" in dataset.db.catalog.indexed_columns(WIFI_TABLE)
+
+    def test_profile_mix_close_to_paper(self):
+        dataset = generate_tippers(TippersConfig(n_devices=1000, days=2, seed=5))
+        counts = {p: len(dataset.devices_with_profile(p)) for p in PROFILES}
+        for profile, frac in PROFILE_FRACTIONS.items():
+            assert counts[profile] == pytest.approx(1000 * frac, abs=2)
+
+    def test_visitors_rarely_present(self, tippers_small):
+        dataset, _, _ = tippers_small
+        db = dataset.db
+        visitors = set(dataset.devices_with_profile("visitor"))
+        rows = db.execute(f"SELECT owner, ts_date FROM {WIFI_TABLE}").rows
+        by_owner: dict[int, set[int]] = {}
+        for owner, day in rows:
+            by_owner.setdefault(owner, set()).add(day)
+        visitor_days = [len(d) for o, d in by_owner.items() if o in visitors]
+        regular_days = [len(d) for o, d in by_owner.items() if o not in visitors]
+        if visitor_days and regular_days:
+            avg = lambda xs: sum(xs) / len(xs)
+            assert avg(visitor_days) < avg(regular_days)
+
+    def test_events_skew_to_affinity_region(self, tippers_small):
+        dataset, _, _ = tippers_small
+        rows = dataset.db.execute(f"SELECT owner, wifiAP FROM {WIFI_TABLE}").rows
+        home_hits = total = 0
+        for owner, ap in rows:
+            if dataset.profiles[owner] == "visitor":
+                continue
+            total += 1
+            if ap in dataset.region_aps[dataset.affinity_region[owner]]:
+                home_hits += 1
+        assert total == 0 or home_hits / total > 0.6
+
+    def test_deterministic(self):
+        a = generate_tippers(TippersConfig(n_devices=50, days=5, seed=42))
+        b = generate_tippers(TippersConfig(n_devices=50, days=5, seed=42))
+        assert a.event_count == b.event_count
+        ra = a.db.execute(f"SELECT * FROM {WIFI_TABLE} LIMIT 20").rows
+        rb = b.db.execute(f"SELECT * FROM {WIFI_TABLE} LIMIT 20").rows
+        assert ra == rb
+
+    def test_groups_installed_in_db(self, tippers_small):
+        dataset, _, _ = tippers_small
+        n = dataset.db.execute("SELECT count(*) AS n FROM User_Group_Membership").rows[0][0]
+        assert n >= dataset.config.n_devices  # every device in >=1 group
+
+
+class TestCampusPolicies:
+    def test_unconcerned_get_two_defaults(self, tippers_small):
+        dataset, campus, _ = tippers_small
+        unconcerned = [d for d, k in campus.user_kind.items() if k == "unconcerned"]
+        by_owner: dict[int, int] = {}
+        for p in campus.policies:
+            by_owner[p.owner] = by_owner.get(p.owner, 0) + 1
+        for device in unconcerned[:50]:
+            assert by_owner.get(device, 0) == 2
+
+    def test_advanced_get_many(self, tippers_small):
+        dataset, campus, _ = tippers_small
+        advanced = [d for d, k in campus.user_kind.items() if k == "advanced"]
+        by_owner: dict[int, int] = {}
+        for p in campus.policies:
+            by_owner[p.owner] = by_owner.get(p.owner, 0) + 1
+        counts = [by_owner.get(d, 0) for d in advanced]
+        assert counts and sum(counts) / len(counts) > 15
+
+    def test_kind_split_near_paper(self):
+        dataset = generate_tippers(TippersConfig(n_devices=800, days=2, seed=9))
+        campus = generate_campus_policies(dataset, PolicyGenConfig(seed=10))
+        kinds = list(campus.user_kind.values())
+        unconcerned_frac = kinds.count("unconcerned") / len(kinds)
+        assert 0.55 < unconcerned_frac < 0.68  # paper: ~61.3%
+
+    def test_every_policy_well_formed(self, tippers_small):
+        _, campus, _ = tippers_small
+        for p in campus.policies[:500]:
+            assert p.table == WIFI_TABLE
+            assert p.owner_condition.attr == "owner"
+            assert p.purpose in PURPOSES or p.purpose == "any"
+
+    def test_designated_queriers_accumulate_policies(self, tippers_small):
+        _, campus, store = tippers_small
+        prof = campus.designated_queriers["faculty"][0]
+        total = sum(
+            len(store.policies_for(prof, purpose, WIFI_TABLE)) for purpose in PURPOSES
+        )
+        assert total > 20
+
+    def test_policies_queryable_through_store(self, tippers_small):
+        dataset, campus, store = tippers_small
+        assert len(store) == len(campus.policies)
+        # group-targeted policies reachable by group members
+        member = dataset.devices[0]
+        group_policies = store.policies_for(member, "any-purpose-x", WIFI_TABLE)
+        assert isinstance(group_policies, list)
+
+
+class TestWorkload:
+    def test_q1_q2_q3_parse_and_run(self, tippers_small):
+        dataset, _, _ = tippers_small
+        wl = QueryWorkload(dataset)
+        for q in wl.full_suite():
+            result = dataset.db.execute(q.sql)
+            assert result is not None
+
+    def test_selectivity_ordering(self, tippers_small):
+        dataset, _, _ = tippers_small
+        wl = QueryWorkload(dataset, seed=1)
+        lows = [len(dataset.db.execute(wl.q1(Selectivity.LOW).sql)) for _ in range(5)]
+        highs = [len(dataset.db.execute(wl.q1(Selectivity.HIGH).sql)) for _ in range(5)]
+        assert sum(highs) >= sum(lows)
+
+    def test_deterministic_per_seed(self, tippers_small):
+        dataset, _, _ = tippers_small
+        a = QueryWorkload(dataset, seed=5).q2(Selectivity.MID).sql
+        b = QueryWorkload(dataset, seed=5).q2(Selectivity.MID).sql
+        assert a == b
+
+
+class TestMall:
+    @pytest.fixture(scope="class")
+    def mall(self):
+        return generate_mall(MallConfig(n_customers=200, days=15, seed=4))
+
+    def test_schema_matches_paper_table3(self, mall):
+        for table in ("Users", "Shop", "WiFi_Connectivity"):
+            assert mall.db.catalog.has_table(table)
+        assert mall.db.catalog.table("WiFi_Connectivity").schema.names == [
+            "id", "shop_id", "owner", "ts_time", "ts_date",
+        ]
+
+    def test_shop_count_and_types(self, mall):
+        assert len(mall.shops) == 35
+        assert set(mall.shop_types.values()) <= set(
+            ("arcade", "movies", "clothing", "food", "electronics", "sports")
+        )
+
+    def test_policies_generated_for_shops(self, mall):
+        assert len(mall.policies) > 200
+        shop = mall.shops[0]
+        assert len(mall.policies_of_shop(shop)) > 0
+
+    def test_regular_customers_allow_favorites(self, mall):
+        regulars = [c for c, k in mall.customer_kind.items() if k == "regular"]
+        c = regulars[0]
+        favorite_queriers = {f"shop-{s}" for s in mall.favorite_shops[c]}
+        owned = [p for p in mall.policies if p.owner == c]
+        assert any(p.querier in favorite_queriers for p in owned)
+
+    def test_irregular_policies_are_date_bounded(self, mall):
+        irregulars = [c for c, k in mall.customer_kind.items() if k == "irregular"]
+        owned = [p for p in mall.policies if p.owner in irregulars[:20]]
+        date_bounded = [
+            p for p in owned
+            if any(oc.attr == "ts_date" and oc.is_range for oc in p.object_conditions)
+        ]
+        assert date_bounded
+
+    def test_events_deterministic(self):
+        a = generate_mall(MallConfig(n_customers=50, days=5, seed=2))
+        b = generate_mall(MallConfig(n_customers=50, days=5, seed=2))
+        assert a.event_count == b.event_count and len(a.policies) == len(b.policies)

@@ -1,0 +1,165 @@
+"""Differential testing: the SQL engine vs a naive Python evaluator.
+
+Random single-table queries (filters, projections, grouping, ordering,
+limits) run through the full parse → plan → execute pipeline and must
+match a straightforward Python reimplementation of their semantics.
+This guards the engine substrate itself, independent of Sieve.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.db.database import connect
+from repro.storage.schema import ColumnType, Schema
+
+COLUMNS = ["id", "a", "b", "c"]
+
+
+def build_db(rows, personality="mysql"):
+    db = connect(personality, page_size=16)
+    db.create_table(
+        "t",
+        Schema.of(
+            ("id", ColumnType.INT),
+            ("a", ColumnType.INT),
+            ("b", ColumnType.INT),
+            ("c", ColumnType.INT),
+        ),
+    )
+    db.insert("t", rows)
+    db.create_index("t", "a")
+    db.create_index("t", "b")
+    db.analyze()
+    return db
+
+
+def make_rows(seed, n=300):
+    rng = random.Random(seed)
+    return [
+        (i, rng.randrange(10), rng.randrange(50), rng.randrange(1000))
+        for i in range(n)
+    ]
+
+
+# Predicate fragments with matching Python semantics.
+_PREDICATES = [
+    ("a = 3", lambda r: r[1] == 3),
+    ("a != 3", lambda r: r[1] != 3),
+    ("b BETWEEN 10 AND 30", lambda r: 10 <= r[2] <= 30),
+    ("b NOT BETWEEN 10 AND 30", lambda r: not (10 <= r[2] <= 30)),
+    ("a IN (1, 2, 3)", lambda r: r[1] in (1, 2, 3)),
+    ("c >= 500", lambda r: r[3] >= 500),
+    ("a = 1 OR b < 5", lambda r: r[1] == 1 or r[2] < 5),
+    ("a = 1 AND c < 800", lambda r: r[1] == 1 and r[3] < 800),
+    ("NOT a = 2", lambda r: r[1] != 2),
+    ("a + b > 20", lambda r: r[1] + r[2] > 20),
+]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 1000),
+    pred=st.sampled_from(_PREDICATES),
+    personality=st.sampled_from(["mysql", "postgres"]),
+)
+def test_filtered_scan_matches_python(seed, pred, personality):
+    rows = make_rows(seed)
+    db = build_db(rows, personality)
+    sql_pred, py_pred = pred
+    got = db.execute(f"SELECT * FROM t WHERE {sql_pred}")
+    assert sorted(got.rows) == sorted(r for r in rows if py_pred(r))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000), pred=st.sampled_from(_PREDICATES))
+def test_group_by_matches_python(seed, pred):
+    rows = make_rows(seed)
+    db = build_db(rows)
+    sql_pred, py_pred = pred
+    got = db.execute(
+        f"SELECT a, count(*) AS n, sum(b) AS s, min(c) AS lo, max(c) AS hi "
+        f"FROM t WHERE {sql_pred} GROUP BY a"
+    )
+    expected: dict[int, list] = {}
+    for r in rows:
+        if not py_pred(r):
+            continue
+        acc = expected.setdefault(r[1], [0, 0, None, None])
+        acc[0] += 1
+        acc[1] += r[2]
+        acc[2] = r[3] if acc[2] is None else min(acc[2], r[3])
+        acc[3] = r[3] if acc[3] is None else max(acc[3], r[3])
+    want = sorted((k, *v) for k, v in expected.items())
+    assert sorted(got.rows) == want
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 1000),
+    limit=st.integers(1, 20),
+    ascending=st.booleans(),
+)
+def test_order_limit_matches_python(seed, limit, ascending):
+    rows = make_rows(seed)
+    db = build_db(rows)
+    direction = "ASC" if ascending else "DESC"
+    got = db.execute(f"SELECT id, c FROM t ORDER BY c {direction}, id LIMIT {limit}")
+    want = sorted(
+        ((r[3], r[0]) for r in rows),
+        key=lambda pair: (pair[0] if ascending else -pair[0], pair[1]),
+    )[:limit]
+    assert got.rows == [(i, c) for c, i in want]
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000))
+def test_distinct_union_matches_python(seed):
+    rows = make_rows(seed)
+    db = build_db(rows)
+    got = db.execute(
+        "SELECT DISTINCT a FROM t WHERE b < 20 "
+        "UNION SELECT DISTINCT a FROM t WHERE b >= 40"
+    )
+    want = {(r[1],) for r in rows if r[2] < 20} | {(r[1],) for r in rows if r[2] >= 40}
+    assert set(got.rows) == want and len(got.rows) == len(want)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 500), k=st.integers(0, 9))
+def test_join_matches_python(seed, k):
+    rows = make_rows(seed, n=150)
+    db = build_db(rows)
+    db.create_table("g", Schema.of(("a", ColumnType.INT), ("label", ColumnType.INT)))
+    pairs = [(i, i * 100) for i in range(k + 1)]
+    db.insert("g", pairs)
+    db.analyze()
+    got = db.execute(
+        "SELECT t.id, g.label FROM t, g WHERE t.a = g.a AND t.b < 25"
+    )
+    want = sorted(
+        (r[0], label)
+        for r in rows
+        if r[2] < 25
+        for a, label in pairs
+        if r[1] == a
+    )
+    assert sorted(got.rows) == want
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 500))
+def test_having_matches_python(seed):
+    rows = make_rows(seed)
+    db = build_db(rows)
+    got = db.execute(
+        "SELECT a, count(*) AS n FROM t GROUP BY a HAVING count(*) >= 25"
+    )
+    counts: dict[int, int] = {}
+    for r in rows:
+        counts[r[1]] = counts.get(r[1], 0) + 1
+    want = sorted((k, v) for k, v in counts.items() if v >= 25)
+    assert sorted(got.rows) == want

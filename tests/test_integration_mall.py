@@ -1,0 +1,82 @@
+"""Integration: the Mall scenario end-to-end on the PostgreSQL personality."""
+
+import pytest
+
+from repro.core import BaselineP, Sieve
+from repro.datasets import MallConfig, generate_mall
+from repro.policy import PolicyStore
+
+
+@pytest.fixture(scope="module")
+def mall_world():
+    mall = generate_mall(MallConfig(n_customers=150, days=12, seed=6))
+    store = PolicyStore(mall.db, mall.groups)
+    store.insert_many(mall.policies)
+    return mall, store, Sieve(mall.db, store), BaselineP(mall.db, store)
+
+
+class TestMallPipeline:
+    def test_shops_see_only_allowed_events(self, mall_world):
+        mall, store, sieve, baseline = mall_world
+        total = mall.db.execute("SELECT count(*) AS n FROM WiFi_Connectivity").rows[0][0]
+        for shop in mall.shops[:5]:
+            querier = mall.shop_querier(shop)
+            visible = sieve.execute(
+                "SELECT count(*) AS n FROM WiFi_Connectivity", querier, "any"
+            ).rows[0][0]
+            assert 0 <= visible < total
+
+    def test_agreement_with_baseline_across_shops(self, mall_world):
+        mall, store, sieve, baseline = mall_world
+        sql = (
+            "SELECT owner, count(*) AS visits FROM WiFi_Connectivity "
+            "WHERE ts_date BETWEEN 2 AND 9 GROUP BY owner"
+        )
+        for shop in mall.shops[:5]:
+            querier = mall.shop_querier(shop)
+            got = sieve.execute(sql, querier, "any")
+            want = baseline.execute(sql, querier, "any")
+            assert sorted(got.rows) == sorted(want.rows)
+
+    def test_shop_type_groups_share_policies(self, mall_world):
+        mall, store, sieve, baseline = mall_world
+        # An irregular customer's policy names a type group; every shop of
+        # that type sees the same rows from that customer.
+        irregular = next(
+            c for c, k in mall.customer_kind.items()
+            if k == "irregular" and any(p.owner == c for p in mall.policies)
+        )
+        policy = next(
+            p for p in mall.policies
+            if p.owner == irregular and str(p.querier).startswith("type-")
+        )
+        type_name = str(p_querier) if (p_querier := policy.querier) else ""
+        shops_of_type = [
+            s for s, t in mall.shop_types.items() if f"type-{t}" == type_name
+        ]
+        sql = f"SELECT count(*) AS n FROM WiFi_Connectivity WHERE owner = {irregular}"
+        counts = {
+            s: sieve.execute(sql, mall.shop_querier(s), "any").rows[0][0]
+            for s in shops_of_type[:3]
+        }
+        assert len(set(counts.values())) == 1  # same visibility for the type
+
+    def test_regular_customer_open_hours_only(self, mall_world):
+        mall, store, sieve, baseline = mall_world
+        regular = next(
+            c for c, k in mall.customer_kind.items()
+            if k == "regular" and mall.favorite_shops[c]
+        )
+        shop = mall.favorite_shops[regular][0]
+        querier = mall.shop_querier(shop)
+        rows = sieve.execute(
+            f"SELECT ts_time FROM WiFi_Connectivity WHERE owner = {regular}",
+            querier, "any",
+        )
+        for (ts,) in rows:
+            assert 600 <= ts <= 1320  # open hours condition enforced
+
+    def test_postgres_personality_active(self, mall_world):
+        mall, _, _, _ = mall_world
+        assert mall.db.personality.name == "postgres"
+        assert mall.db.personality.supports_bitmap_or

@@ -1,0 +1,201 @@
+"""Statistics, cardinality estimation, planner access paths, EXPLAIN."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.database import connect
+from repro.optimizer.cardinality import estimate_selectivity
+from repro.optimizer.stats import EquiDepthHistogram, StatsCatalog, build_table_stats
+from repro.sql.parser import parse_expression, parse_query
+from repro.storage.schema import ColumnType, Schema
+
+from tests.conftest import make_wifi_db
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert EquiDepthHistogram.build([]) is None
+
+    def test_eq_selectivity_uniform(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), buckets=32)
+        sel = hist.selectivity_eq(500)
+        assert 0.0001 < sel < 0.01  # ~1/1000
+
+    def test_eq_out_of_range(self):
+        hist = EquiDepthHistogram.build(list(range(100)))
+        assert hist.selectivity_eq(-5) == 0.0
+        assert hist.selectivity_eq(500) == 0.0
+
+    def test_range_full_coverage(self):
+        hist = EquiDepthHistogram.build(list(range(100)))
+        assert hist.selectivity_range(0, 99) == pytest.approx(1.0, abs=0.05)
+
+    def test_range_half_coverage(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), buckets=50)
+        sel = hist.selectivity_range(0, 499)
+        assert 0.4 < sel < 0.6
+
+    def test_range_disjoint(self):
+        hist = EquiDepthHistogram.build(list(range(100)))
+        assert hist.selectivity_range(200, 300) == 0.0
+
+    def test_skewed_distribution(self):
+        values = [1] * 900 + list(range(2, 102))
+        hist = EquiDepthHistogram.build(values, buckets=16)
+        assert hist.selectivity_eq(1) > 0.1
+        assert hist.selectivity_eq(50) < 0.05
+
+    def test_string_values(self):
+        hist = EquiDepthHistogram.build([f"u{i:03d}" for i in range(100)])
+        assert hist.selectivity_eq("u050") > 0
+        assert 0 < hist.selectivity_range("u000", "u049") <= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=8, max_size=500),
+           st.integers(0, 100), st.integers(0, 100))
+    def test_range_estimate_bounded_and_sane(self, values, a, b):
+        # min_size=8: with fewer values than buckets the estimator is
+        # legitimately coarse (one value per bucket, interior guesses).
+        lo, hi = min(a, b), max(a, b)
+        hist = EquiDepthHistogram.build(values, buckets=8)
+        sel = hist.selectivity_range(lo, hi)
+        assert 0.0 <= sel <= 1.0
+        true_sel = sum(1 for v in values if lo <= v <= hi) / len(values)
+        # Histogram is an estimate; allow generous error but catch nonsense.
+        assert abs(sel - true_sel) < 0.5
+
+
+class TestTableStats:
+    def test_build(self):
+        db, rows = make_wifi_db(n_rows=500)
+        stats = db.table_stats("wifi")
+        assert stats.row_count == 500
+        assert stats.column("owner").ndv <= 40
+        assert stats.column("OWNER") is not None  # case-insensitive
+
+    def test_staleness_triggers_rebuild(self):
+        db, _rows = make_wifi_db(n_rows=100)
+        catalog = StatsCatalog(staleness_ratio=0.1)
+        table = db.catalog.table("wifi")
+        s1 = catalog.get(table)
+        db.insert("wifi", [(10_000 + i, 1, 1, 1, 1) for i in range(50)])
+        s2 = catalog.get(table)
+        assert s2.row_count == 150 and s1.row_count == 100
+
+
+class TestCardinality:
+    def setup_method(self):
+        self.db, self.rows = make_wifi_db(n_rows=3000, seed=5)
+        self.stats = self.db.table_stats("wifi")
+
+    def _true_sel(self, pred):
+        from repro.expr.eval import ExprCompiler, RowBinding
+
+        binding = RowBinding.for_table("wifi", ["id", "wifiap", "owner", "ts_time", "ts_date"])
+        fn = ExprCompiler(binding).compile(pred)
+        return sum(1 for r in self.rows if fn(r)) / len(self.rows)
+
+    @pytest.mark.parametrize("text", [
+        "owner = 7",
+        "ts_time BETWEEN 500 AND 700",
+        "wifiap IN (1, 2, 3)",
+        "ts_date >= 45",
+        "owner = 3 AND wifiap = 5",
+        "owner = 3 OR owner = 4",
+        "NOT owner = 3",
+    ])
+    def test_estimates_close_to_truth(self, text):
+        pred = parse_expression(text)
+        est = estimate_selectivity(pred, self.stats)
+        true = self._true_sel(pred)
+        assert 0.0 <= est <= 1.0
+        assert abs(est - true) < 0.15
+
+    def test_unknown_column_default(self):
+        est = estimate_selectivity(parse_expression("mystery < 5"), self.stats)
+        assert est == pytest.approx(1 / 3)
+
+    def test_none_predicate(self):
+        assert estimate_selectivity(None, self.stats) == 1.0
+
+
+class TestAccessPathSelection:
+    def test_selective_eq_uses_index(self):
+        db, _ = make_wifi_db(n_rows=20_000, n_owners=500)
+        access = db.explain_access("SELECT * FROM wifi WHERE owner = 7")
+        assert access[0].method == "index"
+        assert "owner" in access[0].index_name
+
+    def test_unselective_pred_uses_seq(self):
+        db, _ = make_wifi_db(n_rows=5000)
+        access = db.explain_access("SELECT * FROM wifi WHERE ts_time >= 10")
+        assert access[0].method == "seq"
+
+    def test_force_index_obeyed_on_mysql(self):
+        db, _ = make_wifi_db("mysql", n_rows=2000)
+        sql = "SELECT * FROM wifi FORCE INDEX (idx_wifi_ts_time) WHERE ts_time >= 10"
+        access = db.explain_access(sql)
+        assert access[0].method == "index"
+        assert access[0].index_name == "idx_wifi_ts_time"
+
+    def test_force_index_ignored_on_postgres(self):
+        db, _ = make_wifi_db("postgres", n_rows=5000)
+        sql = "SELECT * FROM wifi FORCE INDEX (idx_wifi_ts_time) WHERE ts_time >= 10"
+        access = db.explain_access(sql)
+        assert access[0].method == "seq"  # hint ignored; seq is cheaper
+
+    def test_use_index_empty_forces_seq(self):
+        db, _ = make_wifi_db("mysql", n_rows=20_000, n_owners=500)
+        sql = "SELECT * FROM wifi USE INDEX () WHERE owner = 7"
+        access = db.explain_access(sql)
+        assert access[0].method == "seq"
+
+    def test_ignore_index(self):
+        db, _ = make_wifi_db("mysql", n_rows=20_000, n_owners=500)
+        sql = "SELECT * FROM wifi IGNORE INDEX (idx_wifi_owner) WHERE owner = 7"
+        access = db.explain_access(sql)
+        assert access[0].index_name != "idx_wifi_owner"
+
+    def test_bitmap_or_on_postgres(self):
+        db, _ = make_wifi_db("postgres", n_rows=30_000, n_owners=800)
+        sql = "SELECT * FROM wifi WHERE owner = 3 OR owner = 4 OR wifiap = 700"
+        access = db.explain_access(sql)
+        assert access[0].method == "bitmap-or"
+
+    def test_no_bitmap_or_on_mysql(self):
+        db, _ = make_wifi_db("mysql", n_rows=30_000, n_owners=800)
+        sql = "SELECT * FROM wifi WHERE owner = 3 OR owner = 4"
+        access = db.explain_access(sql)
+        assert access[0].method != "bitmap-or"
+
+    def test_bitmap_requires_all_arms_indexable(self):
+        db, _ = make_wifi_db("postgres", n_rows=30_000, n_owners=800)
+        # second disjunct has no sargable component -> no bitmap
+        sql = "SELECT * FROM wifi WHERE owner = 3 OR id + 1 = 5"
+        access = db.explain_access(sql)
+        assert access[0].method != "bitmap-or"
+
+    def test_in_list_probes_index(self):
+        db, _ = make_wifi_db(n_rows=30_000, n_owners=1000)
+        access = db.explain_access("SELECT * FROM wifi WHERE owner IN (1, 2, 3)")
+        assert access[0].method == "index"
+
+
+class TestExplain:
+    def test_render_contains_plan_shape(self):
+        db, _ = make_wifi_db(n_rows=2000)
+        text = db.explain(
+            "SELECT owner, count(*) AS n FROM wifi WHERE owner = 3 GROUP BY owner"
+        ).render()
+        assert "Aggregate" in text
+        assert "rows=" in text and "cost=" in text
+
+    def test_cte_access_summary(self):
+        db, _ = make_wifi_db(n_rows=2000)
+        access = db.explain_access(
+            "WITH v AS (SELECT * FROM wifi WHERE owner = 1) SELECT * FROM v"
+        )
+        methods = {a.method for a in access}
+        assert "cte" in methods

@@ -1,0 +1,165 @@
+"""Deny-policy factoring (paper Section 3.1's allow/deny example)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import PolicyError
+from repro.expr.eval import ExprCompiler, RowBinding
+from repro.policy.algebra import DenyRule, factor_deny, negate_condition
+from repro.policy.model import ANY_PURPOSE, DerivedValue, ObjectCondition, Policy
+
+COLUMNS = ["id", "wifiap", "owner", "ts_time", "ts_date"]
+
+
+def allow(owner=1, querier="john", *conditions, purpose="any"):
+    return Policy(
+        owner=owner, querier=querier, purpose=purpose, table="wifi",
+        object_conditions=(ObjectCondition("owner", "=", owner), *conditions),
+    )
+
+
+def allowed_rows(policies, rows):
+    binding = RowBinding.for_table("wifi", COLUMNS)
+    compiler = ExprCompiler(binding)
+    fns = [compiler.compile(p.object_expr()) for p in policies]
+    return {r for r in rows if any(fn(r) for fn in fns)}
+
+
+def random_rows(n=600, seed=5):
+    rng = random.Random(seed)
+    return [
+        (i, rng.randrange(8), rng.randrange(4), rng.randrange(1440), rng.randrange(30))
+        for i in range(n)
+    ]
+
+
+class TestNegateCondition:
+    def test_equality(self):
+        [neg] = negate_condition(ObjectCondition("wifiap", "=", 5))
+        assert neg.op == "!=" and neg.value == 5
+
+    def test_range_splits(self):
+        parts = negate_condition(ObjectCondition("ts_time", ">=", 540, "<=", 600))
+        ops = {(p.op, p.value) for p in parts}
+        assert ops == {("<", 540), (">", 600)}
+
+    def test_open_range_ops(self):
+        parts = negate_condition(ObjectCondition("ts_time", ">", 540, "<", 600))
+        ops = {(p.op, p.value) for p in parts}
+        assert ops == {("<=", 540), (">=", 600)}
+
+    def test_in_list(self):
+        [neg] = negate_condition(ObjectCondition("wifiap", "IN", [1, 2]))
+        assert neg.op == "NOT IN"
+
+    def test_derived_rejected(self):
+        with pytest.raises(PolicyError):
+            negate_condition(ObjectCondition("wifiap", "=", DerivedValue("SELECT 1 AS x")))
+
+
+class TestFactorDeny:
+    def test_paper_example_semantics(self):
+        """'allow John my location' + 'deny everyone when in my office'
+        == 'allow John everywhere but my office'."""
+        office_ap = 3
+        policies = [allow(1, "john")]
+        rules = [DenyRule(owner=1, conditions=(ObjectCondition("wifiap", "=", office_ap),))]
+        factored = factor_deny(policies, rules)
+        rows = random_rows()
+        got = allowed_rows(factored, rows)
+        expected = {r for r in rows if r[2] == 1 and r[1] != office_ap}
+        assert got == expected
+        assert all(p.action == "allow" for p in factored)
+
+    def test_range_deny_splits_policy(self):
+        policies = [allow(1, "john")]
+        rules = [DenyRule(owner=1, conditions=(
+            ObjectCondition("ts_time", ">=", 540, "<=", 600),
+        ))]
+        factored = factor_deny(policies, rules)
+        assert len(factored) == 2  # below ∨ above
+        rows = random_rows()
+        got = allowed_rows(factored, rows)
+        expected = {r for r in rows if r[2] == 1 and not (540 <= r[3] <= 600)}
+        assert got == expected
+
+    def test_multi_condition_deny_disjunction(self):
+        """¬(d1 ∧ d2) = ¬d1 ∨ ¬d2: denying 'office during lunch' still
+        allows office outside lunch and lunch outside office."""
+        policies = [allow(1, "john")]
+        rules = [DenyRule(owner=1, conditions=(
+            ObjectCondition("wifiap", "=", 3),
+            ObjectCondition("ts_time", ">=", 720, "<=", 780),
+        ))]
+        factored = factor_deny(policies, rules)
+        rows = random_rows()
+        got = allowed_rows(factored, rows)
+        expected = {
+            r for r in rows
+            if r[2] == 1 and not (r[1] == 3 and 720 <= r[3] <= 780)
+        }
+        assert got == expected
+
+    def test_rule_scoped_to_querier(self):
+        policies = [allow(1, "john"), allow(1, "mary")]
+        rules = [DenyRule(owner=1, querier="john",
+                          conditions=(ObjectCondition("wifiap", "=", 3),))]
+        factored = factor_deny(policies, rules)
+        rows = random_rows()
+        john = allowed_rows([p for p in factored if p.querier == "john"], rows)
+        mary = allowed_rows([p for p in factored if p.querier == "mary"], rows)
+        assert all(r[1] != 3 for r in john)
+        assert any(r[1] == 3 for r in mary)  # Mary unaffected
+
+    def test_rule_scoped_to_owner(self):
+        policies = [allow(1, "john"), allow(2, "john")]
+        rules = [DenyRule(owner=1, conditions=(ObjectCondition("wifiap", "=", 3),))]
+        factored = factor_deny(policies, rules)
+        rows = random_rows()
+        got = allowed_rows(factored, rows)
+        assert all(not (r[2] == 1 and r[1] == 3) for r in got)
+        assert any(r[2] == 2 and r[1] == 3 for r in got)
+
+    def test_unsatisfiable_disjuncts_pruned(self):
+        # Allow only the office; deny the office -> nothing remains.
+        policies = [allow(1, "john", ObjectCondition("wifiap", "=", 3))]
+        rules = [DenyRule(owner=1, conditions=(ObjectCondition("wifiap", "=", 3),))]
+        factored = factor_deny(policies, rules)
+        assert factored == []
+
+    def test_sequential_rules_compose(self):
+        policies = [allow(1, "john")]
+        rules = [
+            DenyRule(owner=1, conditions=(ObjectCondition("wifiap", "=", 3),)),
+            DenyRule(owner=1, conditions=(ObjectCondition("ts_date", ">=", 10, "<=", 20),)),
+        ]
+        factored = factor_deny(policies, rules)
+        rows = random_rows()
+        got = allowed_rows(factored, rows)
+        expected = {
+            r for r in rows
+            if r[2] == 1 and r[1] != 3 and not (10 <= r[4] <= 20)
+        }
+        assert got == expected
+
+    def test_factored_policies_still_guardable(self):
+        """Factored policies must flow through guard generation."""
+        from repro.core.generation import build_guarded_expression
+        from repro.core.cost_model import SieveCostModel
+        from tests.conftest import make_wifi_db
+
+        db, _ = make_wifi_db(n_rows=1000)
+        policies = factor_deny(
+            [allow(o, "john", ObjectCondition("ts_time", ">=", 400, "<=", 900))
+             for o in range(5)],
+            [DenyRule(owner=2, conditions=(
+                ObjectCondition("ts_time", ">=", 500, "<=", 600),
+            ))],
+        )
+        ge = build_guarded_expression(
+            policies, db.table_stats("wifi"),
+            frozenset({"owner", "wifiap", "ts_time", "ts_date"}),
+            SieveCostModel(), querier="john", purpose="any", table="wifi",
+        )
+        ge.check_partition_invariants()

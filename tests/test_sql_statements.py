@@ -1,0 +1,164 @@
+"""SQL DML/DDL statements: parsing and execution."""
+
+import pytest
+
+from repro.common.errors import CatalogError, ExecutionError, ParseError
+from repro.db.database import connect
+from repro.sql.statements import (
+    AnalyzeStatement,
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    UpdateStatement,
+    parse_statement,
+)
+from repro.sql.ast import Query
+
+
+class TestStatementParsing:
+    def test_select_falls_through(self):
+        assert isinstance(parse_statement("SELECT 1 AS x"), Query)
+
+    def test_insert_values(self):
+        s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(s, InsertStatement)
+        assert s.columns == ["a", "b"]
+        assert len(s.rows) == 2
+
+    def test_insert_select(self):
+        s = parse_statement("INSERT INTO t SELECT a, b FROM u")
+        assert s.source is not None and s.rows == []
+
+    def test_delete(self):
+        s = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(s, DeleteStatement) and s.where is not None
+        assert parse_statement("DELETE FROM t").where is None
+
+    def test_update(self):
+        s = parse_statement("UPDATE t SET a = a + 1, b = 2 WHERE a < 5")
+        assert isinstance(s, UpdateStatement)
+        assert [c for c, _ in s.assignments] == ["a", "b"]
+
+    def test_create_table(self):
+        s = parse_statement("CREATE TABLE t (id INT, name VARCHAR, ok BOOL)")
+        assert isinstance(s, CreateTableStatement)
+        assert s.columns == [("id", "INT"), ("name", "VARCHAR"), ("ok", "BOOL")]
+
+    def test_create_table_type_aliases(self):
+        s = parse_statement("CREATE TABLE t (a INTEGER, b DOUBLE, c TEXT)")
+        assert [t for _, t in s.columns] == ["INT", "FLOAT", "VARCHAR"]
+
+    def test_create_index(self):
+        s = parse_statement("CREATE INDEX idx_x ON t (a) USING hash")
+        assert isinstance(s, CreateIndexStatement)
+        assert (s.name, s.kind) == ("idx_x", "hash")
+        s2 = parse_statement("CREATE INDEX ON t (a)")
+        assert s2.name is None and s2.kind == "btree"
+
+    def test_drop_and_analyze(self):
+        assert isinstance(parse_statement("DROP TABLE t"), DropTableStatement)
+        assert parse_statement("ANALYZE t").table == "t"
+        assert parse_statement("ANALYZE").table is None
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE TABLE t (a BLOB)")
+
+    def test_bad_create(self):
+        with pytest.raises(ParseError):
+            parse_statement("CREATE VIEW v AS SELECT 1")
+
+
+class TestStatementExecution:
+    def make_db(self):
+        db = connect()
+        db.execute("CREATE TABLE t (id INT, grp INT, name VARCHAR)")
+        return db
+
+    def test_create_insert_select_roundtrip(self):
+        db = self.make_db()
+        r = db.execute("INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b')")
+        assert r.rows == [(2,)]
+        got = db.execute("SELECT name FROM t ORDER BY id")
+        assert got.rows == [("a",), ("b",)]
+
+    def test_insert_partial_columns_nullable(self):
+        db = connect()
+        db.execute("CREATE TABLE t (id INT, name VARCHAR)")
+        # unspecified columns become NULL: needs nullable columns
+        with pytest.raises(CatalogError):
+            db.execute("INSERT INTO t (id) VALUES (1)")
+
+    def test_insert_select_source(self):
+        db = self.make_db()
+        db.execute("INSERT INTO t VALUES (1, 10, 'a')")
+        db.execute("CREATE TABLE u (id INT, grp INT, name VARCHAR)")
+        r = db.execute("INSERT INTO u SELECT id, grp, name FROM t")
+        assert r.rows == [(1,)]
+        assert db.execute("SELECT count(*) AS n FROM u").rows == [(1,)]
+
+    def test_delete_with_predicate(self):
+        db = self.make_db()
+        db.execute("INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 20, 'c')")
+        r = db.execute("DELETE FROM t WHERE grp = 20")
+        assert r.rows == [(2,)]
+        assert db.execute("SELECT count(*) AS n FROM t").rows == [(1,)]
+
+    def test_delete_maintains_indexes(self):
+        db = self.make_db()
+        db.execute("INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b')")
+        db.execute("CREATE INDEX ON t (grp)")
+        db.execute("DELETE FROM t WHERE grp = 10")
+        got = db.execute("SELECT id FROM t FORCE INDEX (idx_t_grp) WHERE grp = 10")
+        assert got.rows == []
+        got2 = db.execute("SELECT id FROM t FORCE INDEX (idx_t_grp) WHERE grp = 20")
+        assert got2.rows == [(2,)]
+
+    def test_update_expressions(self):
+        db = self.make_db()
+        db.execute("INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b')")
+        r = db.execute("UPDATE t SET grp = grp * 2 WHERE id = 2")
+        assert r.rows == [(1,)]
+        assert sorted(db.execute("SELECT grp FROM t").rows) == [(10,), (40,)]
+
+    def test_update_maintains_indexes(self):
+        db = self.make_db()
+        db.execute("INSERT INTO t VALUES (1, 10, 'a')")
+        db.execute("CREATE INDEX ON t (grp)")
+        db.execute("UPDATE t SET grp = 99")
+        got = db.execute("SELECT id FROM t FORCE INDEX (idx_t_grp) WHERE grp = 99")
+        assert got.rows == [(1,)]
+
+    def test_drop_table(self):
+        db = self.make_db()
+        db.execute("DROP TABLE t")
+        assert not db.catalog.has_table("t")
+
+    def test_analyze_via_sql(self):
+        db = self.make_db()
+        db.execute("INSERT INTO t VALUES (1, 10, 'a')")
+        db.execute("ANALYZE t")
+        assert db.table_stats("t").row_count == 1
+
+    def test_insert_arity_mismatch(self):
+        db = self.make_db()
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO t VALUES (1, 2)")
+
+    def test_policy_tables_updatable_via_sql(self):
+        """The paper stores policies as data — verify the policy tables
+        are reachable through plain SQL like any other relation."""
+        from repro.policy import GroupDirectory, PolicyStore
+        from tests.conftest import make_policies
+
+        db, _ = __import__("tests.conftest", fromlist=["make_wifi_db"]).make_wifi_db(
+            n_rows=100
+        )
+        store = PolicyStore(db, GroupDirectory())
+        store.insert_many(make_policies(n_owners=3, per_owner=1))
+        got = db.execute(
+            "SELECT count(*) AS n FROM sieve_policies WHERE querier = 'prof'"
+        )
+        assert got.rows == [(3,)]
