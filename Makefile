@@ -1,0 +1,25 @@
+# Developer entry points. All targets run from the repo root and need
+# only the Python already in the environment (src/ is put on PYTHONPATH
+# explicitly, so no install step is required).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench docs-check
+
+# Tier-1 gate: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# One quick benchmark as a smoke signal: the session-cache bench builds
+# the Fig. 6 Mall world and asserts the warm path is >= 2x faster.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_session_cache.py -q --benchmark-only
+
+# The full benchmark suite (minutes; writes benchmarks/results/).
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-only
+
+# Fails if any module under src/repro lacks a module docstring.
+docs-check:
+	$(PYTHON) tools/docs_check.py

@@ -1,8 +1,36 @@
 """Benchmark result persistence and formatting.
 
 Every experiment writes a Markdown table plus the raw data as JSON to
-``benchmarks/results/`` so EXPERIMENTS.md can reference regenerated
-numbers, and prints the table so it shows up in bench logs.
+``benchmarks/results/`` so experiment write-ups can reference
+regenerated numbers, and prints the table so it shows up in bench
+logs.
+
+Output format (per :func:`write_result` call with name ``<name>``):
+
+* ``benchmarks/results/<name>.md`` — ``# <title>``, a GitHub-Markdown
+  table (floats rendered ``{:,.2f}`` by :func:`format_table`), and an
+  optional ``notes`` paragraph stating the paper's expected shape so a
+  reader can judge the run without the paper at hand.
+* ``benchmarks/results/<name>.json`` — the bench's ``data`` argument
+  serialized with ``json.dumps(indent=2, default=str)`` (anything
+  non-JSON-native, e.g. Decimals or dataclasses' reprs, becomes a
+  string).  By convention ``data`` is a list with one element per
+  swept configuration, either
+
+  - a list/tuple ordered exactly as the Markdown table's columns
+    (older benches, e.g. ``fig6_scalability.json``), or
+  - an object keyed by metric name (newer benches, e.g.
+    ``session_cache.json`` with keys ``policies``, ``cold_ms``,
+    ``warm_ms``, ``cold_cost``, ``warm_cost``, ``speedup``,
+    ``hit_rate``).
+
+  Wall-clock metrics are suffixed ``_ms`` and are hardware-dependent;
+  deterministic metrics (``*_cost`` in
+  :attr:`~repro.db.counters.CounterSet.cost_units`, counters, ratios)
+  are what cross-run comparisons and assertions should use.
+
+The README's "Benchmark output format" section is the user-facing
+summary of this contract; keep the two in sync.
 """
 
 from __future__ import annotations

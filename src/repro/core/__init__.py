@@ -8,10 +8,16 @@
 * strategy selection (Section 5.5): :mod:`strategy`
 * dynamic regeneration (Section 6): :mod:`regeneration`
 * the middleware facade: :mod:`middleware`
+* session-scoped guard caching (amortization layer): :mod:`cache`
 * the paper's baselines (Section 7.2): :mod:`baselines`
+
+``docs/ARCHITECTURE.md`` walks the whole dataflow — policy → guard
+generation → strategy choice → rewrite → execution — and shows where
+the session/cache layer sits in it.
 """
 
 from repro.core.guards import Guard, GuardedExpression
+from repro.core.cache import CacheStats, GuardCache, SieveSession
 from repro.core.cost_model import SieveCostModel
 from repro.core.candidate_gen import generate_candidate_guards
 from repro.core.guard_selection import select_guards
@@ -22,6 +28,9 @@ from repro.core.regeneration import optimal_regeneration_interval, RegenerationC
 __all__ = [
     "Guard",
     "GuardedExpression",
+    "CacheStats",
+    "GuardCache",
+    "SieveSession",
     "SieveCostModel",
     "generate_candidate_guards",
     "select_guards",

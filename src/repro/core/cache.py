@@ -1,0 +1,332 @@
+"""Session-scoped guard caching — the middleware amortization layer.
+
+The paper's core bet is that guarded expressions are generated *once*
+and amortized over many queries (Section 5.1: "the one-time cost of
+generating guards is amortized across query executions").  The seed
+middleware still re-ran the PQM policy filter (Section 3.2) and
+re-consulted the guard store on every ``Sieve.execute`` call.  This
+module makes repeated-querier traffic — the common case under heavy
+load — sublinear in policy-corpus work:
+
+* :class:`GuardCache` — a bounded LRU cache of resolved
+  ``(querier, purpose, relation)`` guard state, validated against the
+  :class:`~repro.policy.store.PolicyStore` *policy epoch*.  Every
+  policy mutation bumps the epoch; the cache's mutation hook drops only
+  the entries whose ``(querier, relation)`` the mutated policy can
+  affect (directly or through the group directory) and re-stamps the
+  rest, so unrelated queriers keep their warm state.
+* :class:`SieveSession` — the per-``(querier, purpose)`` façade
+  returned by :meth:`Sieve.session <repro.core.middleware.Sieve.session>`.
+  A session resolves each referenced relation through the shared
+  :class:`GuardCache` and offers :meth:`SieveSession.execute_many` for
+  batched workloads, so the policy corpus is filtered once per session
+  (per epoch) rather than once per query.
+
+Interplay with Section 6 regeneration: a policy mutation evicts the
+affected cache entries, but the rebuild decision still belongs to
+:class:`~repro.core.regeneration.RegenerationController` — on the next
+resolve the middleware may deliberately keep serving the stale guarded
+expression until the k̃-th insertion (Theorem 2), and that deferred
+expression is re-admitted to the cache at the current epoch.
+
+Cache traffic is charged to the deterministic counters
+(``guard_cache_hits`` / ``guard_cache_misses`` in
+:class:`~repro.db.counters.CounterSet`) so benches can assert hit
+rates without wall clocks.  See ``docs/ARCHITECTURE.md`` for where
+this layer sits in the dataflow.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.guards import GuardedExpression
+from repro.policy.model import Policy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (middleware imports us)
+    from repro.core.middleware import Sieve, SieveExecution
+    from repro.engine.executor import QueryResult
+    from repro.sql.ast import Query
+
+DEFAULT_GUARD_CACHE_CAPACITY = 512
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`GuardCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CachedGuardEntry:
+    """Resolved per-``(querier, purpose, relation)`` enforcement state.
+
+    ``expression is None`` means the querier holds no applicable
+    policies on the relation — the default-deny outcome (Section 3.1)
+    is cached too, so repeated denied queries stay O(1).
+    """
+
+    querier: Any
+    purpose: str
+    table: str  # lowercased relation name
+    policies: list[Policy] = field(default_factory=list)
+    expression: GuardedExpression | None = None
+    epoch: int = 0
+
+
+class GuardCache:
+    """Bounded LRU over resolved guard state, keyed by
+    ``(querier, purpose, relation)`` and validated by policy epoch.
+
+    A lookup hits only when the stored entry was built (or re-stamped)
+    at the caller's epoch; stale entries are treated as misses and
+    dropped.  :meth:`on_policy_mutation` is the targeted-invalidation
+    hook wired to :meth:`PolicyStore.add_mutation_listener
+    <repro.policy.store.PolicyStore.add_mutation_listener>`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_GUARD_CACHE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("guard cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple[Any, str, str], CachedGuardEntry]" = OrderedDict()
+
+    @staticmethod
+    def _key(querier: Any, purpose: str, table: str) -> tuple[Any, str, str]:
+        return (querier, purpose, table.lower())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[tuple[Any, str, str]]:
+        return list(self._entries)
+
+    # --------------------------------------------------------------- lookup
+
+    def get(
+        self, querier: Any, purpose: str, table: str, epoch: int
+    ) -> CachedGuardEntry | None:
+        key = self._key(querier, purpose, table)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.epoch != epoch:
+            # Stale: a mutation hook never saw this entry (e.g. it was
+            # admitted under an older epoch after capacity churn).
+            del self._entries[key]
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        querier: Any,
+        purpose: str,
+        table: str,
+        epoch: int,
+        policies: list[Policy],
+        expression: GuardedExpression | None,
+    ) -> CachedGuardEntry:
+        key = self._key(querier, purpose, table)
+        entry = CachedGuardEntry(
+            querier=querier,
+            purpose=purpose,
+            table=key[2],
+            policies=list(policies),
+            expression=expression,
+            epoch=epoch,
+        )
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def peek(self, querier: Any, purpose: str, table: str) -> CachedGuardEntry | None:
+        """The stored entry regardless of epoch (introspection/tests)."""
+        return self._entries.get(self._key(querier, purpose, table))
+
+    # --------------------------------------------------------- invalidation
+
+    def invalidate(self, querier: Any = None, table: str | None = None) -> int:
+        """Drop entries matching the given querier and/or relation
+        (``None`` matches everything).  Returns the number dropped."""
+        table_lc = table.lower() if table is not None else None
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if (querier is None or entry.querier == querier)
+            and (table_lc is None or entry.table == table_lc)
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += count
+        return count
+
+    def on_policy_mutation(self, kind: str, policy: Policy, epoch: int, groups) -> int:
+        """Targeted invalidation after a policy insert/delete/update.
+
+        Entries for the mutated policy's relation whose querier the
+        policy names — directly or via one of the querier's groups —
+        are dropped; surviving entries that were valid at the previous
+        epoch are re-stamped to ``epoch`` so they keep hitting.
+        Entries already stale from an *unheard* epoch bump (e.g.
+        :meth:`PolicyStore.reload_from_database
+        <repro.policy.store.PolicyStore.reload_from_database>`, which
+        fires no mutation events) are left stale and lazily dropped on
+        their next lookup.  Returns the number of entries dropped.
+        """
+        del kind  # insert/delete/update all invalidate identically
+        table_lc = policy.table.lower()
+        dropped = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            affected = entry.table == table_lc and (
+                policy.querier == entry.querier
+                or policy.querier in groups.groups_of(entry.querier)
+            )
+            if affected:
+                del self._entries[key]
+                dropped += 1
+            elif entry.epoch == epoch - 1:
+                entry.epoch = epoch
+        self.stats.invalidations += dropped
+        return dropped
+
+
+class SieveSession:
+    """A ``(querier, purpose)``-scoped handle on the middleware.
+
+    Obtained via :meth:`Sieve.session
+    <repro.core.middleware.Sieve.session>`; all executions share the
+    middleware's :class:`GuardCache`, so the PQM filter and guard
+    fetch run only on the first query per relation (per policy epoch)::
+
+        session = sieve.session("Prof.Smith", "analytics")
+        results = session.execute_many(queries)   # corpus filtered once
+        print(session.cache_stats.hit_rate)
+
+    Sessions are cheap, long-lived views — they hold no query state of
+    their own, so a mutation to the policy store is picked up by every
+    session at its next execution (via the epoch check).  The one
+    exception is :class:`~repro.policy.groups.GroupDirectory`
+    membership edits, which do not bump the policy epoch; call
+    :meth:`refresh` after changing group membership mid-session.
+    """
+
+    def __init__(self, sieve: "Sieve", querier: Any, purpose: str):
+        self._sieve = sieve
+        self.querier = querier
+        self.purpose = purpose
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SieveSession(querier={self.querier!r}, purpose={self.purpose!r})"
+
+    # ----------------------------------------------------------- resolution
+
+    def resolve(self, table: str) -> tuple[CachedGuardEntry, bool]:
+        """Guard state for one relation, from cache when warm.
+
+        Returns ``(entry, regenerated?)`` where ``regenerated`` is True
+        only when this call rebuilt the guarded expression (mirrors
+        :meth:`GuardStore.get_or_build
+        <repro.core.guard_store.GuardStore.get_or_build>`).
+        """
+        sieve = self._sieve
+        store = sieve.policy_store
+        counters = sieve.db.counters
+        epoch = store.epoch
+        cached = sieve.guard_cache.get(self.querier, self.purpose, table, epoch)
+        if cached is not None:
+            counters.guard_cache_hits += 1
+            return cached, False
+        counters.guard_cache_misses += 1
+        policies = store.policies_for(self.querier, self.purpose, table)
+        expression: GuardedExpression | None = None
+        rebuilt = False
+        if policies:
+            expression, rebuilt = sieve.guarded_expression_for(
+                self.querier, self.purpose, table
+            )
+        entry = sieve.guard_cache.put(
+            self.querier, self.purpose, table, epoch, policies, expression
+        )
+        return entry, rebuilt
+
+    def refresh(self) -> int:
+        """Drop this querier's cached guard state in both tiers — the
+        LRU and the guard store's persisted expressions (e.g. after
+        group directory edits, which bypass the policy epoch; a stale
+        expression must not be re-admitted from the store)."""
+        dropped = self._sieve.guard_cache.invalidate(querier=self.querier)
+        dropped += self._sieve.guard_store.invalidate(querier=self.querier)
+        return dropped
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Stats of the middleware-wide guard cache this session feeds."""
+        return self._sieve.guard_cache.stats
+
+    # ------------------------------------------------------------ execution
+
+    def rewrite(self, sql: "str | Query") -> "Query":
+        return self._sieve.rewrite(sql, self.querier, self.purpose)
+
+    def rewritten_sql(self, sql: "str | Query") -> str:
+        return self._sieve.rewritten_sql(sql, self.querier, self.purpose)
+
+    def execute(self, sql: "str | Query") -> "QueryResult":
+        return self._sieve.execute(sql, self.querier, self.purpose)
+
+    def execute_with_info(self, sql: "str | Query") -> "SieveExecution":
+        return self._sieve.execute_with_info(sql, self.querier, self.purpose)
+
+    def execute_many(self, sqls: Iterable["str | Query"]) -> "list[QueryResult]":
+        """Run a batch of queries under one metadata context.
+
+        The first query per referenced relation pays the PQM filter and
+        guard fetch; the rest hit the shared cache, so middleware work
+        per query is O(parse + rewrite) instead of O(policy corpus).
+        """
+        return [self.execute(sql) for sql in sqls]
+
+    def execute_many_with_info(
+        self, sqls: Iterable["str | Query"]
+    ) -> "list[SieveExecution]":
+        return [self.execute_with_info(sql) for sql in sqls]

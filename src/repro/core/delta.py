@@ -16,7 +16,14 @@ rewritten query runs.
 
 Invocation counts land in ``counters.udf_invocations`` (charged by the
 Database UDF wrapper) and per-policy checks in
-``counters.udf_policy_evals``, which is what the Fig. 3 bench plots.
+``counters.udf_policy_evals``, which is what the Figure 3 bench
+(Experiment 2, inline vs Δ) plots.
+
+Partition state tracks the current guarded expression: at each rewrite
+the rewriter first calls :meth:`DeltaOperator.unregister_prefix` for
+the expression's ``querier|purpose|table|`` prefix, then registers the
+partitions of the guards the strategy routed through Δ — so Section 6
+regeneration can never leave a stale partition behind.
 """
 
 from __future__ import annotations

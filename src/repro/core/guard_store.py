@@ -12,11 +12,18 @@ the ``outdated`` flag of every affected querier's expressions (found
 via the group directory); the next query by that querier rebuilds and
 re-persists (Section 5.1 "we generate guards during query execution
 using triggers in case the current guards are outdated").
+
+This store is the *durable* tier: it owns the rGE/rGG/rGP rows and the
+staleness flags Section 6 regeneration reasons about.  The fast tier —
+the epoch-validated LRU the hot path actually hits — lives above it in
+:mod:`repro.core.cache`; on a cache miss the middleware falls through
+to :meth:`GuardStore.get_or_build` here.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -52,7 +59,18 @@ class GuardStore:
         self._ge_ids = itertools.count(1)
         self._guard_ids = itertools.count(1)
         self._install()
-        policy_store.add_listener(self._on_policy_change)
+        # Weak registration, as in Sieve.__init__: a dead GuardStore
+        # (and its cached expressions) must not be pinned by the store.
+        self_ref = weakref.ref(self)
+
+        def _policy_hook(policy: Policy) -> None:
+            live = self_ref()
+            if live is None:
+                policy_store.remove_listener(_policy_hook)
+                return
+            live._on_policy_change(policy)
+
+        policy_store.add_listener(_policy_hook)
 
     def _install(self) -> None:
         if self.db.catalog.has_table(GE_TABLE):
@@ -146,6 +164,32 @@ class GuardStore:
 
     def cached_expressions(self) -> list[GuardedExpression]:
         return [entry.expression for entry in self._cache.values()]
+
+    def cache_size(self) -> int:
+        """Number of (querier, purpose, relation) expressions held."""
+        return len(self._cache)
+
+    def drop(self, querier: Any, purpose: str, table: str) -> bool:
+        """Forget one cached expression and its persisted rows
+        (explicit invalidation; the next query rebuilds from scratch)."""
+        entry = self._cache.pop((querier, purpose, table.lower()), None)
+        if entry is None:
+            return False
+        self._delete_rows(entry)
+        return True
+
+    def invalidate(self, querier: Any = None) -> int:
+        """Drop every cached expression (and its persisted rows) for
+        ``querier``, or for everyone when ``None`` — the hard reset
+        behind :meth:`Sieve.invalidate_caches
+        <repro.core.middleware.Sieve.invalidate_caches>` after group
+        directory edits, which the ``outdated`` machinery cannot see."""
+        doomed = [
+            key for key in self._cache if querier is None or key[0] == querier
+        ]
+        for key in doomed:
+            self._delete_rows(self._cache.pop(key))
+        return len(doomed)
 
     # ---------------------------------------------------------- persistence
 

@@ -24,16 +24,27 @@ Per query, Sieve:
 4. rewrites the query with enforcement CTEs (Section 5.3) and runs it
    on the underlying database.
 
+Steps 1-2 are amortized across queries by the session guard cache
+(:mod:`repro.core.cache`): repeated queries by the same (querier,
+purpose) resolve each relation from a policy-epoch-validated LRU
+instead of re-filtering the corpus.  Use :meth:`Sieve.session` for an
+explicit per-querier handle with batched ``execute_many``; the plain
+``execute`` entry points route through the same cache.
+
 Relations where the querier holds no applicable policies come back
 empty (opt-out default-deny, Section 3.1).
+
+See ``docs/ARCHITECTURE.md`` for the end-to-end dataflow.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.cache import DEFAULT_GUARD_CACHE_CAPACITY, GuardCache, SieveSession
 from repro.core.cost_model import SieveCostModel, calibrate
 from repro.core.delta import DeltaOperator
 from repro.core.generation import build_guarded_expression
@@ -84,6 +95,7 @@ class Sieve:
         policy_store: PolicyStore,
         cost_model: SieveCostModel | None = None,
         regeneration: RegenerationController | None = None,
+        guard_cache_capacity: int = DEFAULT_GUARD_CACHE_CAPACITY,
     ):
         self.db = db
         self.policy_store = policy_store
@@ -92,6 +104,45 @@ class Sieve:
         self.guard_store = GuardStore(db, policy_store)
         self.rewriter = SieveRewriter(db, self.delta)
         self.regeneration = regeneration
+        self.guard_cache = GuardCache(capacity=guard_cache_capacity)
+        # Register weakly: short-lived Sieve instances over a long-lived
+        # store must not be pinned (and kept invalidating) forever by the
+        # store's listener list.  A hook that finds its Sieve collected
+        # deregisters itself.
+        self_ref = weakref.ref(self)
+
+        def _mutation_hook(kind: str, policy) -> None:
+            live = self_ref()
+            if live is None:
+                policy_store.remove_mutation_listener(_mutation_hook)
+                return
+            live._on_policy_mutation(kind, policy)
+
+        policy_store.add_mutation_listener(_mutation_hook)
+
+    # ------------------------------------------------------------- sessions
+
+    def session(self, querier: Any, purpose: str) -> SieveSession:
+        """A session handle for one (querier, purpose) — Section 3.2's
+        QM pair, the natural unit of amortization.  Handles are
+        stateless views over the shared guard cache, so they are cheap
+        to create and any number may coexist."""
+        return SieveSession(self, querier, purpose)
+
+    def _on_policy_mutation(self, kind: str, policy) -> None:
+        """Targeted guard-cache invalidation on corpus mutations."""
+        self.guard_cache.on_policy_mutation(
+            kind, policy, self.policy_store.epoch, self.policy_store.groups
+        )
+
+    def invalidate_caches(self) -> int:
+        """Drop all cached guard state — both the LRU tier and the
+        guard store's expressions (e.g. after editing the group
+        directory, which does not bump the policy epoch; expressions
+        built under the old membership must not survive either tier)."""
+        dropped = self.guard_cache.clear()
+        dropped += self.guard_store.invalidate()
+        return dropped
 
     # ------------------------------------------------------------- plumbing
 
@@ -144,8 +195,13 @@ class Sieve:
     def _prepare(
         self, sql: str | Query, querier: Any, purpose: str
     ) -> tuple[SieveExecution, Query]:
-        """Run the middleware pipeline up to (not including) execution."""
+        """Run the middleware pipeline up to (not including) execution.
+
+        Per-relation policy filtering and guard fetch go through the
+        session guard cache; only parse, strategy choice and rewrite
+        remain per-query work on the warm path."""
         start = time.perf_counter()
+        session = self.session(querier, purpose)
         query = parse_query(sql) if isinstance(sql, str) else sql
         metadata = QueryMetadata(querier=querier, purpose=purpose)
 
@@ -159,12 +215,12 @@ class Sieve:
         policies_considered = 0
 
         for table_name in targets:
-            policies = self.policy_store.policies_for(querier, purpose, table_name)
-            policies_considered += len(policies)
-            if not policies:
+            entry, rebuilt = session.resolve(table_name)
+            policies_considered += len(entry.policies)
+            if entry.expression is None:
                 denied.add(table_name)
                 continue
-            expression, rebuilt = self.guarded_expression_for(querier, purpose, table_name)
+            expression = entry.expression
             if rebuilt:
                 regenerated.append(table_name)
             heap = self.db.catalog.table(table_name)

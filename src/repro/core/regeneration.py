@@ -18,6 +18,13 @@ k-th insertion.
 guard store's insert counters, and :func:`simulate_total_cost` replays
 an insert/query trace under any interval choice so the Section-6 bench
 can show the k̃ minimum.
+
+The session guard cache (:mod:`repro.core.cache`) composes with this
+schedule rather than overriding it: a policy mutation evicts the
+affected cache entries, but on the next resolve the controller may
+still defer the rebuild — the stale-but-acceptable expression is then
+re-admitted to the cache at the current epoch, so deferral costs one
+cache miss per mutation, not one per query.
 """
 
 from __future__ import annotations

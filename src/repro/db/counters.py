@@ -1,12 +1,18 @@
-"""Deterministic execution counters.
+"""Deterministic execution counters (paper Section 7 methodology).
 
-Wall-clock timings of a pure-Python engine are noisy and hardware
-dependent; the paper's *shapes* (who wins, where crossovers fall) are
-asserted on these counters instead.  ``cost_units`` aggregates them
-with PostgreSQL-inspired weights: sequential page = 1.0, random page =
-4.0, bitmap heap page = 2.0 (between the two, since bitmap heap visits
-are page-ordered), plus CPU terms for per-tuple work, predicate and
-policy evaluations, and UDF invocations.
+Section 7 reports query latencies; wall-clock timings of a pure-Python
+engine are noisy and hardware dependent, so the paper's *shapes* (who
+wins, where crossovers fall — Figures 3-6, Tables 6-11) are asserted
+on these counters instead.  ``cost_units`` aggregates them with
+PostgreSQL-inspired weights: sequential page = 1.0, random page = 4.0,
+bitmap heap page = 2.0 (between the two, since bitmap heap visits are
+page-ordered), plus CPU terms for per-tuple work, predicate and policy
+evaluations, and UDF invocations (the Δ operator of Section 5.2).
+
+``guard_cache_hits`` / ``guard_cache_misses`` track the session guard
+cache (:mod:`repro.core.cache`); they carry zero cost weight — cache
+bookkeeping is not an engine cost — but let benches assert hit rates
+deterministically.
 """
 
 from __future__ import annotations
@@ -41,6 +47,8 @@ class CounterSet:
     index_node_visits: int = 0
     udf_invocations: int = 0
     udf_policy_evals: int = 0
+    guard_cache_hits: int = 0
+    guard_cache_misses: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
 
     _COUNTER_NAMES = (
@@ -54,6 +62,8 @@ class CounterSet:
         "index_node_visits",
         "udf_invocations",
         "udf_policy_evals",
+        "guard_cache_hits",
+        "guard_cache_misses",
     )
 
     def reset(self) -> None:

@@ -1,9 +1,11 @@
-"""Row-id bitmaps.
+"""Row-id bitmaps (paper Section 7, Experiment 4 infrastructure).
 
 PostgreSQL combines multiple index scans by building per-scan bitmaps,
 OR-ing them in memory, and visiting each heap page once ("bitmap heap
-scan").  Experiment 4 of the paper attributes much of Sieve's Postgres
-speedup to exactly this, so the engine needs a faithful bitmap.
+scan").  Experiment 4 (Figure 5) attributes much of Sieve's Postgres
+speedup to exactly this — one bitmap per guard, OR-ed before touching
+the heap — so the engine needs a faithful bitmap for the paper's
+result shapes to reproduce.
 
 Backed by a single Python int used as a bitset: union/intersection are
 one C-level operation regardless of cardinality.

@@ -13,6 +13,13 @@ A write-through in-memory cache keeps Policy objects indexed by
 querier so that the PQM filter and the Δ operator never re-parse rows
 on the hot path.  Insert listeners let the guard store flip its
 ``outdated`` flags (Section 6).
+
+Every mutation (insert/delete/update) bumps a monotonically increasing
+*policy epoch* and fires the registered mutation listeners — the
+session guard cache (:mod:`repro.core.cache`) uses the epoch to
+validate entries and the listeners for targeted invalidation, so the
+corpus is only re-filtered for queriers a mutation can actually
+affect.
 """
 
 from __future__ import annotations
@@ -67,6 +74,9 @@ class PolicyStore:
         self._rowids: dict[int, tuple[int, list[int]]] = {}  # policy id -> (rP rowid, rOC rowids)
         self._insert_clock = itertools.count(1)
         self._listeners: list[Callable[[Policy], None]] = []
+        self._mutation_listeners: list[Callable[[str, Policy], None]] = []
+        self._epoch = 0
+        self._tables_memo: tuple[int, frozenset[str]] | None = None
         self._install()
 
     def _install(self) -> None:
@@ -106,7 +116,42 @@ class PolicyStore:
         """Called after every policy insert (guard-store invalidation)."""
         self._listeners.append(fn)
 
-    def insert(self, policy: Policy) -> Policy:
+    def remove_listener(self, fn: Callable[[Policy], None]) -> None:
+        """Deregister fn; no-op when absent (safe for dead-ref hooks)."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def add_mutation_listener(self, fn: Callable[[str, Policy], None]) -> None:
+        """Called as ``fn(kind, policy)`` after every mutation, where
+        ``kind`` is ``"insert"``, ``"delete"`` or ``"update"``; the
+        epoch is already bumped when listeners fire (cache hooks)."""
+        self._mutation_listeners.append(fn)
+
+    def remove_mutation_listener(self, fn: Callable[[str, Policy], None]) -> None:
+        """Deregister fn; no-op when absent (safe for dead-ref hooks)."""
+        try:
+            self._mutation_listeners.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic corpus version; bumped on every mutation."""
+        return self._epoch
+
+    def _mutated(self, kind: str, policy: Policy) -> None:
+        self._epoch += 1
+        self._tables_memo = None
+        # Iterate over copies: dead weakref hooks deregister themselves
+        # from inside the callback.
+        for listener in list(self._listeners):
+            listener(policy)
+        for listener in list(self._mutation_listeners):
+            listener(kind, policy)
+
+    def insert(self, policy: Policy, _event_kind: str = "insert") -> Policy:
         """Persist one policy; returns it stamped with an insert time."""
         if policy.id in self._by_id:
             raise PolicyError(f"duplicate policy id {policy.id}")
@@ -160,8 +205,7 @@ class PolicyStore:
         self._by_id[stamped.id] = stamped
         self._by_querier[stamped.querier].append(stamped)
         self._rowids[stamped.id] = (rp_rowid, oc_rowids)
-        for listener in self._listeners:
-            listener(stamped)
+        self._mutated(_event_kind, stamped)
         return stamped
 
     def insert_many(self, policies: Iterable[Policy]) -> int:
@@ -180,8 +224,39 @@ class PolicyStore:
         self.db.delete_row(POLICY_TABLE, rp_rowid)
         for rowid in oc_rowids:
             self.db.delete_row(CONDITION_TABLE, rowid)
-        for listener in self._listeners:
-            listener(policy)
+        self._mutated("delete", policy)
+
+    def update(self, policy: Policy) -> Policy:
+        """Replace the stored policy with the same id.
+
+        Implemented as a delete + re-insert of the rP/rOC rows; fires
+        one ``"update"`` mutation event carrying the new version (two —
+        the second carrying the old version — when the update moves the
+        policy to a different querier or table, since both corpus views
+        must invalidate).  The updated policy gets a fresh
+        ``ts_inserted_at`` — for Section 6 regeneration accounting an
+        update counts as a new arrival."""
+        old = self._by_id.get(policy.id)
+        if old is None:
+            raise PolicyError(f"unknown policy id {policy.id}")
+        # Validate the replacement is persistable BEFORE destroying the
+        # old version — a bad condition value must not lose the policy.
+        for oc in policy.object_conditions:
+            _serialize(oc.value)
+            if oc.op2 is not None:
+                _serialize(oc.value2)
+        del self._by_id[policy.id]
+        self._by_querier[old.querier].remove(old)
+        rp_rowid, oc_rowids = self._rowids.pop(policy.id)
+        self.db.delete_row(POLICY_TABLE, rp_rowid)
+        for rowid in oc_rowids:
+            self.db.delete_row(CONDITION_TABLE, rowid)
+        stamped = self.insert(policy, _event_kind="update")
+        # insert() fired an event for the new version; if the old version
+        # named a different querier/table its caches must also hear.
+        if old.querier != policy.querier or old.table.lower() != policy.table.lower():
+            self._mutated("update", old)
+        return stamped
 
     # --------------------------------------------------------------- reads
 
@@ -223,8 +298,17 @@ class PolicyStore:
         """All distinct querier values with at least one policy."""
         return [q for q, ps in self._by_querier.items() if ps]
 
-    def tables_with_policies(self) -> set[str]:
-        return {p.table.lower() for p in self._by_id.values()}
+    def tables_with_policies(self) -> frozenset[str]:
+        """Relations named by at least one policy, memoized per epoch
+        (the middleware consults this on every query).  Frozen: the
+        memoized set is shared across callers, so mutating it would
+        corrupt every later query at the same epoch."""
+        memo = self._tables_memo
+        if memo is not None and memo[0] == self._epoch:
+            return memo[1]
+        tables = frozenset(p.table.lower() for p in self._by_id.values())
+        self._tables_memo = (self._epoch, tables)
+        return tables
 
     # ------------------------------------------------------------ reload
 
@@ -234,6 +318,8 @@ class PolicyStore:
         self._by_id.clear()
         self._by_querier.clear()
         self._rowids.clear()
+        self._epoch += 1  # wholesale reload: all cached corpus views are stale
+        self._tables_memo = None
         conditions: dict[int, list[tuple[int, ObjectCondition]]] = defaultdict(list)
         cond_rowids: dict[int, list[int]] = defaultdict(list)
         cond_table = self.db.catalog.table(CONDITION_TABLE)

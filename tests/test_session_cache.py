@@ -1,0 +1,377 @@
+"""Session guard cache: warm == cold, targeted invalidation, LRU.
+
+The acceptance bar for the cache layer is *bit-identical* results:
+whatever a cold middleware answers, a warm session must answer too —
+including immediately after policy inserts, deletes and updates.
+"""
+
+import pytest
+
+from repro.core import Sieve
+from repro.core.cache import CacheStats, GuardCache
+from repro.policy.groups import GroupDirectory
+from repro.policy.model import ObjectCondition, Policy
+from repro.policy.store import PolicyStore
+
+from tests.conftest import brute_force_allowed, make_policies, make_wifi_db
+
+QUERIES = [
+    "SELECT * FROM wifi WHERE ts_date BETWEEN 10 AND 70",
+    "SELECT * FROM wifi WHERE ts_time >= 300",
+    "SELECT id, owner FROM wifi WHERE wifiap = 3",
+    "SELECT count(*) AS n FROM wifi",
+]
+
+
+def build_world(n_owners=20, per_owner=2, seed=1, extra_queriers=()):
+    db, rows = make_wifi_db(n_rows=3000, n_owners=n_owners, seed=seed)
+    store = PolicyStore(db, GroupDirectory())
+    store.insert_many(make_policies(n_owners=n_owners, per_owner=per_owner, seed=seed + 1))
+    for i, querier in enumerate(extra_queriers):
+        store.insert_many(
+            make_policies(
+                n_owners=max(2, n_owners // 2), per_owner=1,
+                querier=querier, seed=seed + 2 + i,
+            )
+        )
+    return db, rows, store, Sieve(db, store)
+
+
+def fresh_reference(db, store, sql, querier, purpose="analytics"):
+    """What a cold middleware (no warm cache at all) answers."""
+    return Sieve(db, store).execute(sql, querier, purpose)
+
+
+class TestWarmEqualsCold:
+    def test_repeated_queries_bit_identical(self):
+        db, rows, store, sieve = build_world()
+        session = sieve.session("prof", "analytics")
+        for sql in QUERIES:
+            cold = sieve.execute(sql, "prof", "analytics")  # first touch may build
+            for _ in range(3):
+                warm = session.execute(sql)
+                assert warm.columns == cold.columns
+                assert warm.rows == cold.rows
+
+    def test_warm_path_actually_hits_cache(self):
+        db, rows, store, sieve = build_world()
+        session = sieve.session("prof", "analytics")
+        session.execute(QUERIES[0])
+        hits_before = db.counters.guard_cache_hits
+        session.execute(QUERIES[0])
+        session.execute(QUERIES[1])
+        assert db.counters.guard_cache_hits >= hits_before + 2
+        assert session.cache_stats.hit_rate > 0
+
+    def test_execute_many_matches_per_query_execute(self):
+        db, rows, store, sieve = build_world(seed=5)
+        batch = sieve.session("prof", "analytics").execute_many(QUERIES)
+        singles = [fresh_reference(db, store, sql, "prof") for sql in QUERIES]
+        for got, want in zip(batch, singles):
+            assert got.columns == want.columns
+            assert got.rows == want.rows
+
+    def test_session_handles_share_cache(self):
+        """Handles are stateless views: two handles for the same QM pair
+        share all guard state through the middleware's cache."""
+        db, _rows, _store, sieve = build_world()
+        first = sieve.session("prof", "analytics")
+        first.execute(QUERIES[0])
+        hits = db.counters.guard_cache_hits
+        second = sieve.session("prof", "analytics")
+        second.execute(QUERIES[0])
+        assert db.counters.guard_cache_hits == hits + 1
+
+    def test_denied_querier_cached_and_still_denied(self):
+        db, _rows, store, sieve = build_world()
+        session = sieve.session("stranger", "analytics")
+        assert session.execute(QUERIES[0]).rows == []
+        before = db.counters.guard_cache_hits
+        assert session.execute(QUERIES[0]).rows == []
+        assert db.counters.guard_cache_hits == before + 1  # denial is cached too
+
+
+class TestMutationInvalidation:
+    def test_insert_invalidates_only_affected_querier(self):
+        db, rows, store, sieve = build_world(extra_queriers=("colleague",))
+        prof = sieve.session("prof", "analytics")
+        other = sieve.session("colleague", "analytics")
+        prof.execute(QUERIES[0])
+        other.execute(QUERIES[0])
+
+        epoch_before = store.epoch
+        store.insert(Policy(
+            owner=0, querier="colleague", purpose="analytics", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 0),),
+        ))
+        assert store.epoch == epoch_before + 1
+
+        # prof's entry survived (re-stamped, still hits) ...
+        entry = sieve.guard_cache.peek("prof", "analytics", "wifi")
+        assert entry is not None and entry.epoch == store.epoch
+        hits = db.counters.guard_cache_hits
+        prof.execute(QUERIES[0])
+        assert db.counters.guard_cache_hits == hits + 1
+        # ... while colleague's was dropped and rebuilds on next query.
+        assert sieve.guard_cache.peek("colleague", "analytics", "wifi") is None
+        got = other.execute(QUERIES[0])
+        want = fresh_reference(db, store, QUERIES[0], "colleague")
+        assert got.rows == want.rows
+        assert any(r[2] == 0 for r in got.rows)  # new policy visible
+
+    def test_insert_for_other_table_keeps_all_entries(self):
+        from repro.storage.schema import ColumnType, Schema
+
+        db, rows, store, sieve = build_world()
+        db.create_table("othertab", Schema.of(("id", ColumnType.INT), ("owner", ColumnType.INT)))
+        db.analyze()
+        session = sieve.session("prof", "analytics")
+        session.execute(QUERIES[0])
+        store.insert(Policy(
+            owner=1, querier="prof", purpose="analytics", table="othertab",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        ))
+        entry = sieve.guard_cache.peek("prof", "analytics", "wifi")
+        assert entry is not None and entry.epoch == store.epoch
+
+    def test_delete_invalidates_and_results_track_fresh(self):
+        db, rows, store, sieve = build_world(seed=9)
+        session = sieve.session("prof", "analytics")
+        session.execute(QUERIES[0])
+        victim = store.all_policies()[0]
+        store.delete(victim.id)
+        assert sieve.guard_cache.peek("prof", "analytics", "wifi") is None
+        got = session.execute(QUERIES[0])
+        want = fresh_reference(db, store, QUERIES[0], "prof")
+        assert got.rows == want.rows
+        brute = sorted(
+            r for r in brute_force_allowed(rows, store.all_policies())
+            if 10 <= r[4] <= 70
+        )
+        assert sorted(got.rows) == brute
+
+    def test_update_reflected_in_warm_session(self):
+        db, rows, store, sieve = build_world(seed=11)
+        session = sieve.session("prof", "analytics")
+        session.execute(QUERIES[0])
+        victim = store.all_policies()[0]
+        replacement = Policy(
+            owner=victim.owner, querier="prof", purpose="analytics", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", victim.owner),),
+            id=victim.id,
+        )
+        epoch_before = store.epoch
+        store.update(replacement)
+        assert store.epoch > epoch_before
+        got = session.execute(QUERIES[0])
+        want = fresh_reference(db, store, QUERIES[0], "prof")
+        assert got.rows == want.rows
+
+    def test_group_policy_insert_invalidates_members(self):
+        db, rows, _store, _sieve = build_world(n_owners=10)
+        groups = GroupDirectory()
+        groups.add_member("faculty", "prof.smith")
+        store = PolicyStore(db, groups)
+        sieve = Sieve(db, store)
+        store.insert(Policy(
+            owner=3, querier="faculty", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 3),),
+        ))
+        session = sieve.session("prof.smith", "analytics")
+        first = session.execute("SELECT * FROM wifi")
+        assert sorted(first.rows) == sorted(r for r in rows if r[2] == 3)
+        # A new policy on the *group* must invalidate the member's entry.
+        store.insert(Policy(
+            owner=5, querier="faculty", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 5),),
+        ))
+        assert sieve.guard_cache.peek("prof.smith", "analytics", "wifi") is None
+        second = session.execute("SELECT * FROM wifi")
+        assert sorted(second.rows) == sorted(r for r in rows if r[2] in (3, 5))
+
+    def test_tables_with_policies_memo_tracks_mutations(self):
+        _db, _rows, store, _sieve = build_world()
+        assert store.tables_with_policies() == {"wifi"}
+        p = Policy(
+            owner=1, querier="prof", purpose="any", table="Other",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        )
+        inserted = store.insert(p)
+        assert store.tables_with_policies() == {"wifi", "other"}
+        store.delete(inserted.id)
+        assert store.tables_with_policies() == {"wifi"}
+
+    def test_membership_change_applied_after_invalidate_caches(self):
+        """Group-directory edits bypass the epoch; the documented remedy
+        (invalidate_caches / session.refresh) must flush BOTH cache
+        tiers — a guarded expression built under the old membership
+        surviving in the guard store would be an access-control leak."""
+        db, rows, _store, _sieve = build_world(n_owners=10)
+        groups = GroupDirectory()
+        groups.add_member("faculty", "alice")
+        store = PolicyStore(db, groups)
+        store.insert(Policy(
+            owner=3, querier="faculty", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 3),),
+        ))
+        store.insert(Policy(
+            owner=4, querier="staff", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 4),),
+        ))
+        sieve = Sieve(db, store)
+        session = sieve.session("alice", "analytics")
+        assert sorted(session.execute("SELECT * FROM wifi").rows) == sorted(
+            r for r in rows if r[2] == 3
+        )
+        # Grant alice staff membership: no policy mutation happens, so
+        # without a full flush both tiers would keep the faculty-only view.
+        groups.add_member("staff", "alice")
+        sieve.invalidate_caches()
+        assert sorted(session.execute("SELECT * FROM wifi").rows) == sorted(
+            r for r in rows if r[2] in (3, 4)
+        )
+
+    def test_session_refresh_flushes_guard_store_tier(self):
+        db, rows, _store, _sieve = build_world(n_owners=10)
+        groups = GroupDirectory()
+        store = PolicyStore(db, groups)
+        store.insert(Policy(
+            owner=3, querier="club", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 3),),
+        ))
+        sieve = Sieve(db, store)
+        session = sieve.session("bob", "analytics")
+        assert session.execute("SELECT * FROM wifi").rows == []
+        groups.add_member("club", "bob")
+        session.refresh()
+        assert sorted(session.execute("SELECT * FROM wifi").rows) == sorted(
+            r for r in rows if r[2] == 3
+        )
+
+    def test_failed_update_preserves_old_policy(self):
+        db, rows, store, sieve = build_world(seed=13)
+        session = sieve.session("prof", "analytics")
+        baseline = session.execute(QUERIES[0])
+        victim = store.all_policies()[0]
+        bad = Policy(
+            owner=victim.owner, querier="prof", purpose="analytics", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", object()),),  # unserializable
+            id=victim.id,
+        )
+        from repro.common.errors import PolicyError
+        with pytest.raises(PolicyError):
+            store.update(bad)
+        assert store.get(victim.id) is victim  # old version intact
+        assert session.execute(QUERIES[0]).rows == baseline.rows
+
+    def test_mutation_event_kinds(self):
+        _db, _rows, store, _sieve = build_world()
+        events: list[str] = []
+        store.add_mutation_listener(lambda kind, policy: events.append(kind))
+        p = store.insert(Policy(
+            owner=1, querier="x", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        ))
+        store.update(Policy(
+            owner=1, querier="x", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 2),), id=p.id,
+        ))
+        store.delete(p.id)
+        assert events == ["insert", "update", "delete"]
+
+    def test_dead_sieve_listeners_self_remove(self):
+        """Short-lived Sieve instances over a long-lived store must not
+        accumulate in its listener lists after collection."""
+        import gc
+
+        db, _rows, store, _sieve = build_world()
+        listeners = len(store._listeners)
+        mutation_listeners = len(store._mutation_listeners)
+        for _ in range(3):
+            Sieve(db, store)
+        gc.collect()
+        # The first mutation lets dead hooks deregister themselves.
+        p = store.insert(Policy(
+            owner=1, querier="tmp", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        ))
+        store.delete(p.id)
+        assert len(store._listeners) == listeners
+        assert len(store._mutation_listeners) == mutation_listeners
+
+    def test_epoch_monotonic_across_mutations(self):
+        _db, _rows, store, _sieve = build_world()
+        seen = [store.epoch]
+        p = store.insert(Policy(
+            owner=1, querier="x", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        ))
+        seen.append(store.epoch)
+        store.update(Policy(
+            owner=1, querier="x", purpose="any", table="wifi",
+            object_conditions=(ObjectCondition("owner", "=", 2),), id=p.id,
+        ))
+        seen.append(store.epoch)
+        store.delete(p.id)
+        seen.append(store.epoch)
+        assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+
+class TestGuardCacheUnit:
+    def test_lru_eviction_order(self):
+        cache = GuardCache(capacity=2)
+        cache.put("a", "p", "t1", 0, [], None)
+        cache.put("a", "p", "t2", 0, [], None)
+        assert cache.get("a", "p", "t1", 0) is not None  # t1 now most-recent
+        cache.put("a", "p", "t3", 0, [], None)           # evicts t2
+        assert cache.peek("a", "p", "t2") is None
+        assert cache.peek("a", "p", "t1") is not None
+        assert cache.stats.evictions == 1
+
+    def test_stale_epoch_is_a_miss_and_dropped(self):
+        cache = GuardCache(capacity=4)
+        cache.put("a", "p", "t", 0, [], None)
+        assert cache.get("a", "p", "t", 1) is None
+        assert cache.peek("a", "p", "t") is None
+        assert cache.stats.misses == 1
+
+    def test_invalidate_by_querier_and_table(self):
+        cache = GuardCache(capacity=8)
+        cache.put("a", "p", "t1", 0, [], None)
+        cache.put("a", "p", "t2", 0, [], None)
+        cache.put("b", "p", "t1", 0, [], None)
+        assert cache.invalidate(querier="a", table="t1") == 1
+        assert cache.invalidate(querier="b") == 1
+        assert len(cache) == 1 and cache.peek("a", "p", "t2") is not None
+
+    def test_mutation_hook_does_not_revive_older_stale_entries(self):
+        """Entries staled by an unheard epoch bump (e.g. a store reload,
+        which fires no events) must stay stale through later mutations."""
+        cache = GuardCache(capacity=8)
+        cache.put("a", "p", "t", 0, [], None)   # valid at epoch 0
+        cache.put("b", "p", "t", 2, [], None)   # valid at epoch 2
+
+        class _NoGroups:
+            @staticmethod
+            def groups_of(_user):
+                return frozenset()
+
+        policy = Policy(
+            owner=1, querier="c", purpose="any", table="other",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        )
+        # Epoch jumped 0 -> 2 without events ("a" missed it), then a
+        # mutation bumps 2 -> 3: only "b" may be re-stamped.
+        cache.on_policy_mutation("insert", policy, 3, _NoGroups())
+        assert cache.get("b", "p", "t", 3) is not None
+        assert cache.get("a", "p", "t", 3) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GuardCache(capacity=0)
+
+    def test_stats_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert CacheStats().hit_rate == 0.0
+        assert "hit_rate" in stats.snapshot()

@@ -1,0 +1,35 @@
+"""Docs gate: every module under src/repro must have a docstring.
+
+Run via ``make docs-check``.  Exits non-zero listing offenders; prints
+a one-line summary when clean.  Uses ``ast`` so it never imports (or
+executes) the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def main() -> int:
+    missing: list[pathlib.Path] = []
+    checked = 0
+    for path in sorted(SRC.rglob("*.py")):
+        checked += 1
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if ast.get_docstring(tree) is None:
+            missing.append(path.relative_to(SRC.parents[1]))
+    if missing:
+        print(f"{len(missing)} module(s) lack a docstring:")
+        for path in missing:
+            print(f"  {path}")
+        return 1
+    print(f"docs-check: all {checked} modules under src/repro have docstrings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
