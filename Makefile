@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench docs-check
+.PHONY: test bench-smoke bench bench-backend docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -15,6 +15,10 @@ test:
 # the Fig. 6 Mall world and asserts the warm path is >= 2x faster.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_session_cache.py -q --benchmark-only
+
+# The real-DBMS tier: Sieve vs the no-guard baseline, both on SQLite.
+bench-backend:
+	$(PYTHON) -m pytest benchmarks/bench_backend_sqlite.py -q --benchmark-only
 
 # The full benchmark suite (minutes; writes benchmarks/results/).
 bench:

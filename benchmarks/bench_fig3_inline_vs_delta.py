@@ -56,7 +56,8 @@ def _forced_linear(delta_on: bool):
     """A strategy stub holding the plan fixed (LinearScan) so the sweep
     isolates inline-vs-Δ evaluation, as the paper's Figure 3 does."""
 
-    def fake(db, table_name, expression, query_conjuncts, cost_model):
+    def fake(db, table_name, expression, query_conjuncts, cost_model,
+             personality=None):
         guards = (
             frozenset(range(len(expression.guards))) if delta_on else frozenset()
         )

@@ -28,7 +28,8 @@ def _force_strategy(sieve: Sieve, strategy: Strategy):
     import repro.core.middleware as middleware_module
     from repro.core.strategy import StrategyDecision, decide_delta_guards
 
-    def fake_choose(db, table_name, expression, query_conjuncts, cost_model):
+    def fake_choose(db, table_name, expression, query_conjuncts, cost_model,
+                    personality=None):
         column = "ts_time" if strategy is Strategy.INDEX_QUERY else None
         return StrategyDecision(
             strategy=strategy,

@@ -42,7 +42,8 @@ def _policies_for_owners(owners, querier):
     ]
 
 
-def _forced_index_guards(db, table_name, expression, query_conjuncts, cost_model):
+def _forced_index_guards(db, table_name, expression, query_conjuncts, cost_model,
+                         personality=None):
     """Hold the plan fixed on IndexGuards: Table 7 isolates guard-driven
     evaluation, so the adaptive strategy must not switch plans between
     cells."""

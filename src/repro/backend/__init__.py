@@ -1,0 +1,28 @@
+"""Execution backends: run Sieve's rewritten SQL on a real DBMS.
+
+The paper's Experiments 4-5 execute Sieve's guard-annotated rewrites
+on actual MySQL and PostgreSQL servers; the bundled engine only
+*simulates* those systems' behaviours (``repro.db.personality``).
+This package is the real execution tier: a :class:`Backend` adapter
+mirrors a bundled :class:`~repro.db.database.Database`'s catalog
+(schema, rows, indexes) into an external engine and executes the
+rewritten SQL there, printed in the backend's
+:class:`~repro.sql.printer.Dialect`.
+
+:class:`SqliteBackend` is the bundled reference adapter — stdlib
+``sqlite3``, so tests and CI need no external server.  It registers
+the middleware's Δ UDF (``sieve_delta``) so per-tuple policy checks
+work server-side, and honours the rewriter's index hints through
+SQLite's ``INDEXED BY`` / ``NOT INDEXED`` spellings.
+
+Wire a backend into the middleware with ``Sieve(db, store,
+backend=backend)``: guard generation, caching, strategy selection and
+rewriting are unchanged; only the final execution hops engines.  See
+``docs/ARCHITECTURE.md`` ("Backends") for where this tier sits in the
+dataflow.
+"""
+
+from repro.backend.base import Backend
+from repro.backend.sqlite import SqliteBackend
+
+__all__ = ["Backend", "SqliteBackend"]

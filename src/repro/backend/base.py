@@ -1,0 +1,116 @@
+"""The Backend ABC: the contract an external execution engine adapts to.
+
+A backend owns a live connection to a real DBMS and exposes the five
+operations the middleware needs — DDL mirroring, bulk loading, index
+creation, UDF registration, and query execution — plus the
+:meth:`Backend.ship` template method that mirrors an entire bundled
+:class:`~repro.db.database.Database` into the engine (schema, rows,
+indexes, UDFs).  Subclasses declare the :class:`~repro.sql.printer.Dialect`
+their engine parses; the middleware prints rewrites in that dialect and
+otherwise never special-cases the engine.
+
+Backends deliberately mirror a *snapshot*: writes applied to the
+bundled database after :meth:`ship` are not propagated automatically.
+Call :meth:`refresh` (all tables or one) after mutating the source of
+truth — the differential tests do exactly this around Section 6
+regeneration scenarios.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.executor import QueryResult
+from repro.sql.printer import Dialect
+from repro.storage.schema import Schema
+
+
+class Backend(abc.ABC):
+    """Adapter for running Sieve's rewritten SQL on a real engine."""
+
+    #: How this engine spells hints/literals; subclasses override.
+    dialect: Dialect
+    #: The :class:`~repro.db.personality.Personality` that shapes
+    #: strategy choice and rewrite structure for this engine (None =
+    #: inherit the bundled database's).
+    personality = None
+    name: str = "backend"
+
+    # ------------------------------------------------------------------ DDL
+
+    @abc.abstractmethod
+    def create_table(self, name: str, schema: Schema) -> None:
+        """Create ``name`` with the bundled schema's columns/types."""
+
+    @abc.abstractmethod
+    def drop_table(self, name: str) -> None:
+        """Drop ``name`` if it exists (used by :meth:`refresh`)."""
+
+    @abc.abstractmethod
+    def create_index(self, table: str, column: str, name: str | None = None) -> None:
+        """Create an index over one column, named to match the bundled
+        catalog so printed ``INDEXED BY`` hints resolve."""
+
+    # ------------------------------------------------------------------ DML
+
+    @abc.abstractmethod
+    def bulk_load(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert rows (schema order); returns the count loaded."""
+
+    # ----------------------------------------------------------------- UDFs
+
+    @abc.abstractmethod
+    def register_udf(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a variadic scalar UDF under ``name``.
+
+        Re-registration must replace the previous function: the
+        middleware re-registers the Δ UDF's counted wrapper on
+        construction."""
+
+    # ---------------------------------------------------------------- query
+
+    @abc.abstractmethod
+    def execute(self, sql: str) -> QueryResult:
+        """Run SQL text (already printed in :attr:`dialect`)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the connection; the backend is unusable afterwards."""
+
+    # ------------------------------------------------------------- mirroring
+
+    def ship(self, db) -> "Backend":
+        """Mirror a bundled database into this backend.
+
+        Copies every catalog table (schema + rows), rebuilds every
+        secondary index under its catalog name, and re-registers the
+        bundled engine's UDFs (their *counted* wrappers, so
+        ``udf_invocations`` counters stay engine-agnostic).  Any
+        same-named table already in the backend (a re-ship, or a
+        file-backed database from an earlier run) is replaced by the
+        fresh snapshot.  Returns ``self`` for chaining::
+
+            backend = SqliteBackend().ship(db)
+            sieve = Sieve(db, store, backend=backend)
+        """
+        for table_name in db.catalog.table_names():
+            self._ship_table(db, table_name)
+        for udf_name, fn in db.functions().items():
+            self.register_udf(udf_name, fn)
+        return self
+
+    def refresh(self, db, table: str | None = None) -> "Backend":
+        """Re-mirror one table (or all) after the bundled data changed."""
+        names = [db.catalog.table(table).name] if table else db.catalog.table_names()
+        for table_name in names:
+            self._ship_table(db, table_name)
+        return self
+
+    def _ship_table(self, db, table_name: str) -> None:
+        table = db.catalog.table(table_name)
+        self.drop_table(table.name)
+        self.create_table(table.name, table.schema)
+        self.bulk_load(table.name, (row for _rowid, row in table.scan()))
+        for index in db.catalog.indexes_on(table_name):
+            self.create_index(table.name, index.column, name=index.name)

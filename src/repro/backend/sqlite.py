@@ -1,0 +1,132 @@
+"""SqliteBackend — the bundled reference Backend over stdlib sqlite3.
+
+SQLite is a real SQL engine with persistent B-trees, a cost-based
+planner, and per-statement index hints, which makes it the smallest
+credible stand-in for the paper's MySQL/PostgreSQL servers: tests and
+CI can run Sieve's rewrites end-to-end on an actual database without
+any external service.
+
+Dialect mapping (see :data:`repro.sql.printer.SQLITE_DIALECT`):
+
+* ``FORCE INDEX (idx)``  → ``INDEXED BY idx`` (single index only);
+* ``USE INDEX ()``       → ``NOT INDEXED`` (LinearScan);
+* ``IGNORE INDEX`` and multi-index hints are dropped — SQLite cannot
+  spell them, and hints are advice, never semantics;
+* boolean literals render as ``1``/``0``.
+
+The Δ operator works server-side: :meth:`SqliteBackend.register_udf`
+installs ``sieve_delta`` (and any other bundled UDF) as a variadic
+scalar function, sharing the middleware's compiled partition state —
+so guard keys registered at rewrite time resolve identically on both
+engines, and ``udf_invocations``/``udf_policy_evals`` counters keep
+counting because the *counted* wrappers are what get registered.
+
+Column types map INT/TIME/DATE/BOOL → INTEGER, FLOAT → REAL,
+VARCHAR → TEXT (Python bools adapt to 0/1 on insert; ``True == 1``
+keeps differential row-set comparisons exact).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.backend.base import Backend
+from repro.common.errors import ExecutionError
+from repro.db.personality import SQLITE
+from repro.engine.executor import QueryResult
+from repro.sql.printer import SQLITE_DIALECT
+from repro.storage.schema import ColumnType, Schema
+
+_TYPE_MAP = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.TIME: "INTEGER",
+    ColumnType.DATE: "INTEGER",
+    ColumnType.BOOL: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.VARCHAR: "TEXT",
+}
+
+
+class SqliteBackend(Backend):
+    """Backend adapter over a ``sqlite3`` connection."""
+
+    dialect = SQLITE_DIALECT
+    personality = SQLITE  # shapes strategy choice + rewrite (bitmap-OR engine)
+    name = "sqlite"
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self.connection = sqlite3.connect(path)
+        self.statements_executed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SqliteBackend(path={self.path!r})"
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, name: str, schema: Schema) -> None:
+        columns = ", ".join(
+            f'"{col.name}" {_TYPE_MAP[col.ctype]}' for col in schema
+        )
+        self._run(f'CREATE TABLE "{name}" ({columns})')
+
+    def drop_table(self, name: str) -> None:
+        self._run(f'DROP TABLE IF EXISTS "{name}"')
+
+    def create_index(self, table: str, column: str, name: str | None = None) -> None:
+        index_name = name or f"idx_{table}_{column}".lower()
+        self._run(f'CREATE INDEX "{index_name}" ON "{table}" ("{column}")')
+
+    # ------------------------------------------------------------------ DML
+
+    def bulk_load(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            return 0
+        placeholders = ", ".join("?" for _ in rows[0])
+        with self.connection:
+            self.connection.executemany(
+                f'INSERT INTO "{table}" VALUES ({placeholders})', rows
+            )
+        return len(rows)
+
+    # ----------------------------------------------------------------- UDFs
+
+    def register_udf(self, name: str, fn: Callable[..., Any]) -> None:
+        # narg=-1: variadic, as the Δ UDF takes one key plus the
+        # relation's columns in schema order.  Registration under the
+        # same name replaces the previous function.
+        self.connection.create_function(name, -1, _adapt_udf(fn))
+
+    # ---------------------------------------------------------------- query
+
+    def execute(self, sql: str) -> QueryResult:
+        cursor = self._run(sql)
+        columns = [d[0] for d in cursor.description] if cursor.description else []
+        return QueryResult(columns=columns, rows=cursor.fetchall())
+
+    def close(self) -> None:
+        self.connection.close()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _run(self, sql: str) -> sqlite3.Cursor:
+        self.statements_executed += 1
+        try:
+            return self.connection.execute(sql)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"sqlite backend: {exc} — while running: {sql}") from exc
+
+
+def _adapt_udf(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Coerce a bundled-engine UDF's return value into SQLite's types
+    (bool is returned as int so WHERE treats it as SQL truth)."""
+
+    def wrapper(*args: Any) -> Any:
+        result = fn(*args)
+        if isinstance(result, bool):
+            return int(result)
+        return result
+
+    return wrapper

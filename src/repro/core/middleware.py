@@ -34,6 +34,12 @@ explicit per-querier handle with batched ``execute_many``; the plain
 Relations where the querier holds no applicable policies come back
 empty (opt-out default-deny, Section 3.1).
 
+Pass ``backend=`` (a :class:`repro.backend.Backend`, e.g.
+``SqliteBackend().ship(db)``) to execute the rewritten queries on a
+real DBMS instead of the bundled engine — the rewrite is printed in
+the backend's SQL dialect and shipped there, mirroring how the paper's
+Experiments 4-5 run Sieve's output on actual MySQL/PostgreSQL servers.
+
 See ``docs/ARCHITECTURE.md`` for the end-to-end dataflow.
 """
 
@@ -46,7 +52,7 @@ from typing import Any
 
 from repro.core.cache import DEFAULT_GUARD_CACHE_CAPACITY, GuardCache, SieveSession
 from repro.core.cost_model import SieveCostModel, calibrate
-from repro.core.delta import DeltaOperator
+from repro.core.delta import DELTA_UDF_NAME, DeltaOperator
 from repro.core.generation import build_guarded_expression
 from repro.core.guard_store import GuardStore
 from repro.core.guards import GuardedExpression
@@ -96,15 +102,36 @@ class Sieve:
         cost_model: SieveCostModel | None = None,
         regeneration: RegenerationController | None = None,
         guard_cache_capacity: int = DEFAULT_GUARD_CACHE_CAPACITY,
+        backend=None,
     ):
         self.db = db
         self.policy_store = policy_store
         self.cost_model = cost_model or SieveCostModel()
         self.delta = DeltaOperator.for_database(db)
         self.guard_store = GuardStore(db, policy_store)
-        self.rewriter = SieveRewriter(db, self.delta)
         self.regeneration = regeneration
         self.guard_cache = GuardCache(capacity=guard_cache_capacity)
+        # Optional real-DBMS execution tier (repro.backend).  The whole
+        # middleware pipeline — PQM filter, guard cache, strategy,
+        # rewrite, Δ registration — is unchanged; only the final
+        # execution hops engines.  Strategy choice and rewrite shape
+        # follow the personality of the engine that will actually run
+        # the query (Section 5.3), so a backend's declared personality
+        # overrides the bundled one.  The Δ UDF's counted wrapper is
+        # (re-)registered here so it exists even when the backend was
+        # shipped before this Sieve (and its DeltaOperator) was built.
+        self.backend = backend
+        self.execution_personality = (
+            getattr(backend, "personality", None) or db.personality
+        )
+        self.rewriter = SieveRewriter(
+            db,
+            self.delta,
+            personality=self.execution_personality,
+            dialect=backend.dialect if backend is not None else None,
+        )
+        if backend is not None:
+            backend.register_udf(DELTA_UDF_NAME, db.function(DELTA_UDF_NAME))
         # Register weakly: short-lived Sieve instances over a long-lived
         # store must not be pinned (and kept invalidating) forever by the
         # store's listener list.  A hook that finds its Sieve collected
@@ -228,7 +255,12 @@ class Sieve:
                 query, table_name, {c.lower() for c in heap.schema.names}
             )
             decisions[table_name] = choose_strategy(
-                self.db, table_name, expression, qpreds, self.cost_model
+                self.db,
+                table_name,
+                expression,
+                qpreds,
+                self.cost_model,
+                personality=self.execution_personality,
             )
             expressions[table_name] = expression
 
@@ -255,11 +287,25 @@ class Sieve:
 
     def execute_with_info(self, sql: str | Query, querier: Any, purpose: str) -> SieveExecution:
         execution, rewritten = self._prepare(sql, querier, purpose)
-        start = time.perf_counter()
-        execution.result = self.db.execute(rewritten)
-        execution.execution_ms = (time.perf_counter() - start) * 1000.0
+        if self.backend is not None:
+            # RewriteInfo.sql is already printed in the backend's
+            # dialect by the rewriter — exactly the text the engine
+            # sees, and printing stays out of the timed window so
+            # execution_ms is comparable with the bundled path's.
+            start = time.perf_counter()
+            execution.result = self.backend.execute(execution.rewrite.sql)
+            execution.execution_ms = (time.perf_counter() - start) * 1000.0
+            counters = self.db.counters
+            counters.backend_queries += 1
+            counters.backend_rows += len(execution.result.rows)
+        else:
+            start = time.perf_counter()
+            execution.result = self.db.execute(rewritten)
+            execution.execution_ms = (time.perf_counter() - start) * 1000.0
         return execution
 
     def rewritten_sql(self, sql: str | Query, querier: Any, purpose: str) -> str:
-        """The enforcement rewrite as SQL text (for inspection/docs)."""
-        return to_sql(self.rewrite(sql, querier, purpose))
+        """The enforcement rewrite as SQL text (for inspection/docs) —
+        printed in the backend's dialect when one is attached, i.e.
+        exactly the text the executing engine will see."""
+        return to_sql(self.rewrite(sql, querier, purpose), dialect=self.rewriter.dialect)

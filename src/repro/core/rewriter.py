@@ -217,11 +217,23 @@ def strip_qualifiers(expr: Expr) -> Expr:
 
 
 class SieveRewriter:
-    """Builds the policy-enforcing rewrite of a query."""
+    """Builds the policy-enforcing rewrite of a query.
 
-    def __init__(self, db, delta: DeltaOperator):
+    ``personality`` defaults to the bundled engine's; pass the target
+    backend's when the rewrite ships to a different engine, so the CTE
+    shape (hinted UNION vs single disjunction, Section 5.3) matches
+    the system that will run it.  ``dialect`` likewise controls how
+    :attr:`RewriteInfo.sql` is printed — it must be the text the
+    executing engine actually sees, or the logging/EXPLAIN field lies.
+    """
+
+    def __init__(self, db, delta: DeltaOperator, personality=None, dialect=None):
+        from repro.sql.printer import DEFAULT_DIALECT
+
         self.db = db
         self.delta = delta
+        self.personality = personality or db.personality
+        self.dialect = dialect or DEFAULT_DIALECT
 
     def rewrite(
         self,
@@ -263,7 +275,7 @@ class SieveRewriter:
         rewritten.ctes = new_ctes + rewritten.ctes
         from repro.sql.printer import to_sql
 
-        info.sql = to_sql(rewritten)
+        info.sql = to_sql(rewritten, dialect=self.dialect)
         return rewritten, info
 
     # ------------------------------------------------------------ CTE body
@@ -286,7 +298,7 @@ class SieveRewriter:
         decision: StrategyDecision,
         query_predicates: list[Expr],
     ) -> SelectCore:
-        personality = self.db.personality
+        personality = self.personality
         table = self.db.catalog.table(table_name)
         columns = table.schema.names
         qpred = make_and([strip_qualifiers(p) for p in query_predicates])

@@ -64,6 +64,7 @@ def choose_strategy(
     expression: GuardedExpression,
     query_conjuncts: list[Expr],
     cost_model: SieveCostModel,
+    personality=None,
 ) -> StrategyDecision:
     """Pick LinearScan / IndexQuery / IndexGuards for one relation.
 
@@ -77,10 +78,14 @@ def choose_strategy(
       full guard disjunction on those rows;
     * LinearScan pays sequential pages plus the guard disjunction on
       every row.
+
+    ``personality`` overrides the bundled engine's when the query will
+    execute elsewhere (a :mod:`repro.backend` adapter): the decision
+    must model the engine that actually runs the rewrite.
     """
     table = db.catalog.table(table_name)
     stats = db.stats.get(table)
-    personality = db.personality
+    personality = personality or db.personality
     n_guards = max(1, len(expression.guards))
     avg_partition = expression.policy_count / n_guards
     alpha = cost_model.alpha

@@ -13,6 +13,12 @@ evaluations, and UDF invocations (the Δ operator of Section 5.2).
 cache (:mod:`repro.core.cache`); they carry zero cost weight — cache
 bookkeeping is not an engine cost — but let benches assert hit rates
 deterministically.
+
+``backend_queries`` / ``backend_rows`` count rewritten statements
+shipped to an external execution backend (:mod:`repro.backend`) and
+the rows it returned.  They also carry zero cost weight: the backend
+is a real engine whose cost shows up as wall time, not as bundled
+engine page/CPU charges.
 """
 
 from __future__ import annotations
@@ -49,6 +55,8 @@ class CounterSet:
     udf_policy_evals: int = 0
     guard_cache_hits: int = 0
     guard_cache_misses: int = 0
+    backend_queries: int = 0
+    backend_rows: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
 
     _COUNTER_NAMES = (
@@ -64,6 +72,8 @@ class CounterSet:
         "udf_policy_evals",
         "guard_cache_hits",
         "guard_cache_misses",
+        "backend_queries",
+        "backend_rows",
     )
 
     def reset(self) -> None:

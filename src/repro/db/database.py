@@ -106,6 +106,15 @@ class Database:
     def has_function(self, name: str) -> bool:
         return name.lower() in self._udfs
 
+    def function(self, name: str) -> Callable[..., Any]:
+        """The counted wrapper for a registered UDF (backends re-register
+        these so UDF invocation counters stay engine-agnostic)."""
+        return self._udfs[name.lower()]
+
+    def functions(self) -> dict[str, Callable[..., Any]]:
+        """All registered UDFs by lowercase name (counted wrappers)."""
+        return dict(self._udfs)
+
     def drop_function(self, name: str) -> None:
         self._udfs.pop(name.lower(), None)
 

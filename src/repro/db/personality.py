@@ -40,7 +40,16 @@ class Personality:
 MYSQL = Personality(name="mysql", honors_index_hints=True, supports_bitmap_or=False)
 POSTGRES = Personality(name="postgres", honors_index_hints=False, supports_bitmap_or=True)
 
-PERSONALITIES = {"mysql": MYSQL, "postgres": POSTGRES}
+# SQLite (the bundled real backend, repro.backend.sqlite): it *parses*
+# index hints (INDEXED BY / NOT INDEXED), but its optimizer also ORs
+# multiple index scans natively (the "OR optimization", SQLite's
+# BitmapOr analogue) — measured on the campus workload, the
+# PostgreSQL-shaped rewrite (one SELECT, guard disjunction, no hints)
+# beats both the hinted UNION shape and a forced linear scan, so the
+# middleware treats SQLite as a bitmap-OR engine when shaping rewrites.
+SQLITE = Personality(name="sqlite", honors_index_hints=False, supports_bitmap_or=True)
+
+PERSONALITIES = {"mysql": MYSQL, "postgres": POSTGRES, "sqlite": SQLITE}
 
 
 def personality_by_name(name: str) -> Personality:

@@ -5,6 +5,11 @@ produces these nodes, policies compile their object conditions into
 them, and the execution engine evaluates them against rows.  Nodes are
 immutable dataclasses so they can be shared freely between rewritten
 queries.
+
+Rendering lives in one place: every node's ``__str__`` delegates to
+:func:`repro.sql.printer.print_expr` (default dialect), which is also
+what dialect-aware printing uses — so there is exactly one SQL
+spelling per construct and backends cannot drift from ``str()``.
 """
 
 from __future__ import annotations
@@ -49,18 +54,15 @@ class Expr:
 
     __slots__ = ()
 
+    def __str__(self) -> str:
+        from repro.sql.printer import print_expr
+
+        return print_expr(self)
+
 
 @dataclass(frozen=True)
 class Literal(Expr):
     value: Any
-
-    def __str__(self) -> str:
-        if isinstance(self.value, str):
-            escaped = self.value.replace("'", "''")
-            return f"'{escaped}'"
-        if self.value is None:
-            return "NULL"
-        return str(self.value)
 
 
 @dataclass(frozen=True)
@@ -68,16 +70,10 @@ class ColumnRef(Expr):
     name: str
     table: str | None = None
 
-    def __str__(self) -> str:
-        return f"{self.table}.{self.name}" if self.table else self.name
-
 
 @dataclass(frozen=True)
 class Star(Expr):
     table: str | None = None
-
-    def __str__(self) -> str:
-        return f"{self.table}.*" if self.table else "*"
 
 
 @dataclass(frozen=True)
@@ -85,9 +81,6 @@ class Comparison(Expr):
     op: CompareOp
     left: Expr
     right: Expr
-
-    def __str__(self) -> str:
-        return f"{self.left} {self.op.value} {self.right}"
 
 
 @dataclass(frozen=True)
@@ -97,10 +90,6 @@ class Between(Expr):
     high: Expr
     negated: bool = False
 
-    def __str__(self) -> str:
-        word = "NOT BETWEEN" if self.negated else "BETWEEN"
-        return f"{self.expr} {word} {self.low} AND {self.high}"
-
 
 @dataclass(frozen=True)
 class InList(Expr):
@@ -108,34 +97,20 @@ class InList(Expr):
     items: tuple[Expr, ...]
     negated: bool = False
 
-    def __str__(self) -> str:
-        word = "NOT IN" if self.negated else "IN"
-        inner = ", ".join(str(i) for i in self.items)
-        return f"{self.expr} {word} ({inner})"
-
 
 @dataclass(frozen=True)
 class And(Expr):
     children: tuple[Expr, ...]
-
-    def __str__(self) -> str:
-        return "(" + " AND ".join(str(c) for c in self.children) + ")"
 
 
 @dataclass(frozen=True)
 class Or(Expr):
     children: tuple[Expr, ...]
 
-    def __str__(self) -> str:
-        return "(" + " OR ".join(str(c) for c in self.children) + ")"
-
 
 @dataclass(frozen=True)
 class Not(Expr):
     child: Expr
-
-    def __str__(self) -> str:
-        return f"NOT ({self.child})"
 
 
 @dataclass(frozen=True)
@@ -146,21 +121,12 @@ class FuncCall(Expr):
     args: tuple[Expr, ...] = ()
     distinct: bool = False
 
-    def __str__(self) -> str:
-        inner = ", ".join(str(a) for a in self.args)
-        if self.distinct:
-            inner = f"DISTINCT {inner}"
-        return f"{self.name}({inner})"
-
 
 @dataclass(frozen=True)
 class Arith(Expr):
     op: str  # one of + - * / %
     left: Expr
     right: Expr
-
-    def __str__(self) -> str:
-        return f"({self.left} {self.op} {self.right})"
 
 
 @dataclass(frozen=True)
@@ -172,9 +138,6 @@ class ScalarSubquery(Expr):
     """
 
     select: Any = field(hash=False)
-
-    def __str__(self) -> str:
-        return f"({self.select})"
 
     def __hash__(self) -> int:  # Select is unhashable; identity is fine here
         return id(self.select)
@@ -188,10 +151,6 @@ class InSubquery(Expr):
     select: Any = field(hash=False)
     negated: bool = False
 
-    def __str__(self) -> str:
-        word = "NOT IN" if self.negated else "IN"
-        return f"{self.expr} {word} ({self.select})"
-
     def __hash__(self) -> int:
         return hash((id(self.select), self.expr, self.negated))
 
@@ -201,9 +160,6 @@ class IsNull(Expr):
     """``expr IS NULL`` (NOT NULL is expressed as Not(IsNull(...)))."""
 
     child: Expr
-
-    def __str__(self) -> str:
-        return f"{self.child} IS NULL"
 
 
 AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})

@@ -13,7 +13,16 @@ from repro.sql.ast import (
     TableRef,
 )
 from repro.sql.parser import parse_query, parse_expression
-from repro.sql.printer import to_sql
+from repro.sql.printer import (
+    ANSI_DIALECT,
+    DEFAULT_DIALECT,
+    MYSQL_DIALECT,
+    SQLITE_DIALECT,
+    Dialect,
+    dialect_by_name,
+    print_expr,
+    to_sql,
+)
 
 __all__ = [
     "CTE",
@@ -29,4 +38,11 @@ __all__ = [
     "parse_query",
     "parse_expression",
     "to_sql",
+    "print_expr",
+    "Dialect",
+    "dialect_by_name",
+    "ANSI_DIALECT",
+    "DEFAULT_DIALECT",
+    "MYSQL_DIALECT",
+    "SQLITE_DIALECT",
 ]

@@ -17,7 +17,7 @@ KEYWORDS = {
     "select", "from", "where", "group", "by", "having", "order", "limit",
     "as", "and", "or", "not", "in", "between", "is", "null", "distinct",
     "union", "all", "except", "minus", "intersect", "join", "inner", "cross",
-    "on", "with", "force", "use", "ignore", "index", "asc", "desc", "true",
+    "on", "with", "force", "use", "ignore", "index", "indexed", "asc", "desc", "true",
     "false", "case", "when", "then", "else", "end", "exists", "like",
     "insert", "into", "values", "delete", "update", "set", "create",
     "table", "drop", "analyze", "using",

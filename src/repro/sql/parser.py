@@ -12,6 +12,7 @@ Grammar (informal)::
     from_list    := from_item ("," from_item | [INNER|CROSS] JOIN from_item [ON expr])*
     from_item    := ident [[AS] alias] [index_hint] | "(" query ")" [AS] alias
     index_hint   := (FORCE | USE | IGNORE) INDEX "(" [ident ("," ident)*] ")"
+                  | INDEXED BY ident | NOT INDEXED
 
 Expressions follow standard precedence: OR < AND < NOT < comparison /
 BETWEEN / IN / LIKE < additive < multiplicative < unary.
@@ -281,6 +282,17 @@ class _Parser:
         return TableRef(name, alias, hint)
 
     def _parse_index_hint(self) -> IndexHint | None:
+        # SQLite dialect spellings, mapped onto the canonical hint
+        # forms so either dialect's output parses back to the same AST:
+        # INDEXED BY name == FORCE INDEX (name); NOT INDEXED == USE INDEX ().
+        if self._cur.is_keyword("indexed") and self._peek().is_keyword("by"):
+            self._advance()
+            self._advance()
+            return IndexHint("FORCE", (self._expect_ident(),))
+        if self._cur.is_keyword("not") and self._peek().is_keyword("indexed"):
+            self._advance()
+            self._advance()
+            return IndexHint("USE", ())
         if not self._cur.is_keyword("force", "use", "ignore"):
             return None
         # guard against USE/FORCE as something else: must be followed by INDEX

@@ -1,18 +1,42 @@
-"""AST -> SQL text.
+"""AST -> SQL text, parameterized by a target :class:`Dialect`.
 
 Round-trips with the parser (``parse(to_sql(q))`` is structurally equal
-to ``q``), which the property tests verify.  Index hints print in
-MySQL's ``FORCE INDEX (name, ...)`` syntax, matching the paper's
-rewrites.
+to ``q``), which the property tests verify — for every dialect whose
+constructs the parser accepts.  The default dialect prints index hints
+in MySQL's ``FORCE INDEX (name, ...)`` syntax, matching the paper's
+rewrites; the SQLite dialect prints ``INDEXED BY name`` / ``NOT
+INDEXED`` instead and drops hints SQLite cannot express (``IGNORE
+INDEX``, multi-index ``FORCE``).  Backends (``repro.backend``) pick the
+dialect their engine understands; everything else in the rewriter and
+middleware stays dialect-agnostic.
 """
 
 from __future__ import annotations
 
-from repro.expr.nodes import Expr
+from dataclasses import dataclass
+
+from repro.expr.nodes import (
+    Arith,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    And,
+    ScalarSubquery,
+    Star,
+)
 from repro.sql.ast import (
     CTE,
     DerivedTable,
     FromItem,
+    IndexHint,
     JoinClause,
     OrderItem,
     Query,
@@ -24,87 +48,244 @@ from repro.sql.ast import (
 )
 
 
-def to_sql(node: Query | SelectCore | Expr) -> str:
+@dataclass(frozen=True)
+class Dialect:
+    """How one target engine spells the constructs that differ.
+
+    * ``hint_style`` — ``"mysql"`` (``FORCE/USE/IGNORE INDEX (...)``),
+      ``"sqlite"`` (``INDEXED BY name`` / ``NOT INDEXED``), or
+      ``"none"`` (hints silently dropped, e.g. PostgreSQL, which has
+      no hint syntax at all).
+    * ``bool_literals`` — whether the engine accepts ``True``/``False``
+      keywords; when False they render as ``1``/``0`` (SQLite).
+    * ``set_op_parens`` — whether compound-select operands may be
+      parenthesised.  SQLite's grammar forbids ``(SELECT ...) UNION
+      ...``, but its compound operators are left-associative, so
+      left-nested chains (the only shape the rewriter emits, and what
+      the parser folds to) print flat without changing meaning;
+      right-nested set operations are inexpressible and raise.
+    """
+
+    name: str
+    hint_style: str = "mysql"  # "mysql" | "sqlite" | "none"
+    bool_literals: bool = True
+    set_op_parens: bool = True
+
+    def render_hint(self, hint: IndexHint) -> str | None:
+        """The hint's SQL text in this dialect, or None to drop it."""
+        if self.hint_style == "mysql":
+            names = ", ".join(hint.index_names)
+            return f"{hint.kind} INDEX ({names})"
+        if self.hint_style == "sqlite":
+            # SQLite's analogue of USE INDEX () ("avoid all indexes").
+            if hint.kind == "USE" and not hint.index_names:
+                return "NOT INDEXED"
+            # INDEXED BY names exactly one index; multi-index FORCE and
+            # IGNORE INDEX have no SQLite spelling — drop them (hints
+            # are performance advice, never semantics).
+            if hint.kind == "FORCE" and len(hint.index_names) == 1:
+                return f"INDEXED BY {hint.index_names[0]}"
+            return None
+        return None
+
+    def render_literal(self, literal: Literal) -> str:
+        value = literal.value
+        if isinstance(value, bool):
+            if self.bool_literals:
+                return str(value)
+            return "1" if value else "0"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        if value is None:
+            return "NULL"
+        return str(value)
+
+    def normalize(self, hint: IndexHint | None) -> IndexHint | None:
+        """The hint as it survives a print/parse round trip in this
+        dialect (None when :meth:`render_hint` drops it)."""
+        if hint is None or self.render_hint(hint) is None:
+            return None
+        return hint
+
+
+MYSQL_DIALECT = Dialect(name="mysql")
+SQLITE_DIALECT = Dialect(
+    name="sqlite", hint_style="sqlite", bool_literals=False, set_op_parens=False
+)
+ANSI_DIALECT = Dialect(name="ansi", hint_style="none")
+DEFAULT_DIALECT = MYSQL_DIALECT
+
+DIALECTS = {d.name: d for d in (MYSQL_DIALECT, SQLITE_DIALECT, ANSI_DIALECT)}
+
+
+def dialect_by_name(name: str) -> Dialect:
+    try:
+        return DIALECTS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown dialect {name!r}; choose from {sorted(DIALECTS)}"
+        ) from None
+
+
+def to_sql(node: Query | SelectCore | Expr, dialect: Dialect = DEFAULT_DIALECT) -> str:
     """Render a Query, Select/SetOp, or expression as SQL text."""
     if isinstance(node, Query):
-        return _print_query(node)
+        return _print_query(node, dialect)
     if isinstance(node, (Select, SetOp)):
-        return _print_core(node)
-    return str(node)
+        return _print_core(node, dialect)
+    return print_expr(node, dialect)
 
 
-def _print_query(query: Query) -> str:
+def _print_query(query: Query, dialect: Dialect) -> str:
     parts: list[str] = []
     if query.ctes:
-        ctes = ", ".join(f"{c.name} AS ({_print_query(c.query)})" for c in query.ctes)
+        ctes = ", ".join(
+            f"{c.name} AS ({_print_query(c.query, dialect)})" for c in query.ctes
+        )
         parts.append(f"WITH {ctes}")
-    parts.append(_print_core(query.body))
+    parts.append(_print_core(query.body, dialect))
     return " ".join(parts)
 
 
-def _print_core(core: SelectCore) -> str:
+def _print_core(core: SelectCore, dialect: Dialect) -> str:
     if isinstance(core, SetOp):
         op = core.op + (" ALL" if core.all else "")
-        return f"{_print_operand(core.left)} {op} {_print_operand(core.right)}"
-    return _print_select(core)
+        left = _print_operand(core.left, dialect, left_side=True)
+        right = _print_operand(core.right, dialect, left_side=False)
+        return f"{left} {op} {right}"
+    return _print_select(core, dialect)
 
 
-def _print_operand(core: SelectCore) -> str:
-    # Parenthesise nested set operations to preserve associativity.
+def _print_operand(core: SelectCore, dialect: Dialect, left_side: bool) -> str:
+    # Parenthesise nested set operations to preserve associativity —
+    # except in dialects whose grammar forbids it (SQLite), where
+    # left-nested chains print flat (the grammar is left-associative,
+    # so the reading is unchanged).
     if isinstance(core, SetOp):
-        return f"({_print_core(core)})"
-    return _print_select(core)
+        if dialect.set_op_parens:
+            return f"({_print_core(core, dialect)})"
+        if left_side:
+            return _print_core(core, dialect)
+        raise ValueError(
+            f"dialect {dialect.name!r} cannot express right-nested set operations"
+        )
+    return _print_select(core, dialect)
 
 
-def _print_select(select: Select) -> str:
+def _print_select(select: Select, dialect: Dialect) -> str:
     parts = ["SELECT"]
     if select.distinct:
         parts.append("DISTINCT")
-    parts.append(", ".join(_print_item(i) for i in select.items))
+    parts.append(", ".join(_print_item(i, dialect) for i in select.items))
     if select.from_items or select.joins:
         parts.append("FROM")
-        from_parts = [_print_from_item(f) for f in select.from_items]
+        from_parts = [_print_from_item(f, dialect) for f in select.from_items]
         parts.append(", ".join(from_parts))
         for join in select.joins:
-            parts.append(_print_join(join))
+            parts.append(_print_join(join, dialect))
     if select.where is not None:
-        parts.append(f"WHERE {select.where}")
+        parts.append(f"WHERE {print_expr(select.where, dialect)}")
     if select.group_by:
-        parts.append("GROUP BY " + ", ".join(str(e) for e in select.group_by))
+        parts.append(
+            "GROUP BY " + ", ".join(print_expr(e, dialect) for e in select.group_by)
+        )
     if select.having is not None:
-        parts.append(f"HAVING {select.having}")
+        parts.append(f"HAVING {print_expr(select.having, dialect)}")
     if select.order_by:
-        parts.append("ORDER BY " + ", ".join(_print_order(o) for o in select.order_by))
+        parts.append(
+            "ORDER BY " + ", ".join(_print_order(o, dialect) for o in select.order_by)
+        )
     if select.limit is not None:
         parts.append(f"LIMIT {select.limit}")
     return " ".join(parts)
 
 
-def _print_item(item: SelectItem) -> str:
-    text = str(item.expr)
+def _print_item(item: SelectItem, dialect: Dialect) -> str:
+    text = print_expr(item.expr, dialect)
     if item.alias:
         return f"{text} AS {item.alias}"
     return text
 
 
-def _print_from_item(item: FromItem) -> str:
+def _print_from_item(item: FromItem, dialect: Dialect) -> str:
     if isinstance(item, DerivedTable):
-        return f"({_print_query(item.query)}) AS {item.alias}"
+        return f"({_print_query(item.query, dialect)}) AS {item.alias}"
     assert isinstance(item, TableRef)
     text = item.name
     if item.alias:
         text += f" AS {item.alias}"
     if item.hint is not None:
-        names = ", ".join(item.hint.index_names)
-        text += f" {item.hint.kind} INDEX ({names})"
+        rendered = dialect.render_hint(item.hint)
+        if rendered is not None:
+            text += f" {rendered}"
     return text
 
 
-def _print_join(join: JoinClause) -> str:
+def _print_join(join: JoinClause, dialect: Dialect) -> str:
     if join.condition is None:
-        return f"CROSS JOIN {_print_from_item(join.item)}"
-    return f"INNER JOIN {_print_from_item(join.item)} ON {join.condition}"
+        return f"CROSS JOIN {_print_from_item(join.item, dialect)}"
+    condition = print_expr(join.condition, dialect)
+    return f"INNER JOIN {_print_from_item(join.item, dialect)} ON {condition}"
 
 
-def _print_order(item: OrderItem) -> str:
-    return f"{item.expr} {'ASC' if item.ascending else 'DESC'}"
+def _print_order(item: OrderItem, dialect: Dialect) -> str:
+    return f"{print_expr(item.expr, dialect)} {'ASC' if item.ascending else 'DESC'}"
+
+
+# --------------------------------------------------------------- expressions
+
+
+def print_expr(expr: Expr, dialect: Dialect = DEFAULT_DIALECT) -> str:
+    """Render one expression tree in the given dialect.
+
+    This is the *only* expression renderer: every node's ``__str__``
+    delegates here with the default dialect, so there is exactly one
+    spelling per construct.  Other dialects diverge only where the
+    engine's grammar requires it (boolean literals, and subqueries
+    whose bodies must recurse with the dialect).  Unknown node types
+    raise so a new node cannot silently print wrong in any dialect.
+    """
+    if isinstance(expr, Literal):
+        return dialect.render_literal(expr)
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, Comparison):
+        left = print_expr(expr.left, dialect)
+        right = print_expr(expr.right, dialect)
+        return f"{left} {expr.op.value} {right}"
+    if isinstance(expr, Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{print_expr(expr.expr, dialect)} {word} "
+            f"{print_expr(expr.low, dialect)} AND {print_expr(expr.high, dialect)}"
+        )
+    if isinstance(expr, InList):
+        word = "NOT IN" if expr.negated else "IN"
+        inner = ", ".join(print_expr(i, dialect) for i in expr.items)
+        return f"{print_expr(expr.expr, dialect)} {word} ({inner})"
+    if isinstance(expr, And):
+        return "(" + " AND ".join(print_expr(c, dialect) for c in expr.children) + ")"
+    if isinstance(expr, Or):
+        return "(" + " OR ".join(print_expr(c, dialect) for c in expr.children) + ")"
+    if isinstance(expr, Not):
+        return f"NOT ({print_expr(expr.child, dialect)})"
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(print_expr(a, dialect) for a in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, Arith):
+        left = print_expr(expr.left, dialect)
+        right = print_expr(expr.right, dialect)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, IsNull):
+        return f"{print_expr(expr.child, dialect)} IS NULL"
+    if isinstance(expr, ScalarSubquery):
+        return f"({_print_query(expr.select, dialect)})"
+    if isinstance(expr, InSubquery):
+        word = "NOT IN" if expr.negated else "IN"
+        return f"{print_expr(expr.expr, dialect)} {word} ({_print_query(expr.select, dialect)})"
+    raise TypeError(f"print_expr: unhandled expression node {type(expr).__name__}")

@@ -1,0 +1,208 @@
+"""Unit tests for the backend tier: dialects, SqliteBackend, wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import Backend, SqliteBackend
+from repro.common.errors import ExecutionError
+from repro.db.database import connect
+from repro.sql.ast import IndexHint, Query, Select, SelectItem, SetOp, TableRef
+from repro.sql.parser import parse_query
+from repro.sql.printer import (
+    ANSI_DIALECT,
+    MYSQL_DIALECT,
+    SQLITE_DIALECT,
+    dialect_by_name,
+    to_sql,
+)
+from repro.expr.nodes import Literal, Star
+from repro.storage.schema import ColumnType, Schema
+
+
+def _simple_db():
+    db = connect("mysql")
+    db.create_table(
+        "t",
+        Schema.of(
+            ("id", ColumnType.INT),
+            ("label", ColumnType.VARCHAR),
+            ("score", ColumnType.FLOAT),
+            ("flag", ColumnType.BOOL),
+        ),
+    )
+    db.insert(
+        "t",
+        [
+            (1, "alpha", 1.5, True),
+            (2, "it's", 2.0, False),
+            (3, "gamma", -0.5, True),
+        ],
+    )
+    db.create_index("t", "id")
+    db.analyze()
+    return db
+
+
+class TestDialect:
+    def test_registry(self):
+        assert dialect_by_name("sqlite") is SQLITE_DIALECT
+        assert dialect_by_name("MYSQL") is MYSQL_DIALECT
+        with pytest.raises(ValueError):
+            dialect_by_name("oracle")
+
+    def test_force_index_spellings(self):
+        q = parse_query("SELECT * FROM t FORCE INDEX (idx_t_id) WHERE id = 1")
+        assert "FORCE INDEX (idx_t_id)" in to_sql(q)
+        assert "INDEXED BY idx_t_id" in to_sql(q, dialect=SQLITE_DIALECT)
+        assert "INDEX" not in to_sql(q, dialect=ANSI_DIALECT)
+
+    def test_use_index_empty_is_not_indexed(self):
+        q = parse_query("SELECT * FROM t USE INDEX () WHERE id = 1")
+        assert "USE INDEX ()" in to_sql(q)
+        assert "NOT INDEXED" in to_sql(q, dialect=SQLITE_DIALECT)
+
+    def test_inexpressible_hints_dropped(self):
+        ignore = parse_query("SELECT * FROM t IGNORE INDEX (idx_t_id)")
+        multi = parse_query("SELECT * FROM t FORCE INDEX (a, b)")
+        for q in (ignore, multi):
+            sql = to_sql(q, dialect=SQLITE_DIALECT)
+            assert "INDEX" not in sql.upper().replace("INDEXED", "")
+            assert "INDEXED" not in sql
+        assert SQLITE_DIALECT.normalize(IndexHint("IGNORE", ("a",))) is None
+        assert SQLITE_DIALECT.normalize(IndexHint("FORCE", ("a",))) == IndexHint(
+            "FORCE", ("a",)
+        )
+
+    def test_bool_literals(self):
+        q = parse_query("SELECT * FROM t WHERE false")
+        assert to_sql(q).endswith("WHERE False")
+        assert to_sql(q, dialect=SQLITE_DIALECT).endswith("WHERE 0")
+        q2 = parse_query("SELECT * FROM t WHERE flag = true")
+        assert to_sql(q2, dialect=SQLITE_DIALECT).endswith("flag = 1")
+
+    def test_left_nested_set_ops_print_flat(self):
+        q = parse_query(
+            "SELECT id FROM t WHERE id = 1 "
+            "UNION SELECT id FROM t WHERE id = 2 "
+            "UNION SELECT id FROM t WHERE id = 3"
+        )
+        flat = to_sql(q, dialect=SQLITE_DIALECT)
+        assert "(" not in flat  # no operand parentheses anywhere
+        # and it parses back to the same (left-nested) tree
+        assert parse_query(flat) == q
+
+    def test_right_nested_set_ops_raise_in_sqlite(self):
+        leaf = lambda n: Select(
+            items=[SelectItem(Star())],
+            from_items=[TableRef("t")],
+            where=Literal(n),
+        )
+        right_nested = Query(
+            body=SetOp("UNION", leaf(1), SetOp("UNION", leaf(2), leaf(3)))
+        )
+        assert "(" in to_sql(right_nested)  # default dialect parenthesises
+        with pytest.raises(ValueError):
+            to_sql(right_nested, dialect=SQLITE_DIALECT)
+
+    def test_parser_accepts_sqlite_spellings(self):
+        q = parse_query("SELECT * FROM t INDEXED BY idx_t_id WHERE id = 1")
+        ref = q.body.from_items[0]
+        assert ref.hint == IndexHint("FORCE", ("idx_t_id",))
+        q2 = parse_query("SELECT * FROM t NOT INDEXED")
+        assert q2.body.from_items[0].hint == IndexHint("USE", ())
+
+
+class TestSqliteBackend:
+    def test_ship_mirrors_tables_rows_indexes(self):
+        db = _simple_db()
+        backend = SqliteBackend().ship(db)
+        assert isinstance(backend, Backend)
+        got = backend.execute("SELECT * FROM t")
+        assert [c.lower() for c in got.columns] == ["id", "label", "score", "flag"]
+        assert sorted(got.rows) == sorted(
+            (rid_row[1][0], rid_row[1][1], rid_row[1][2], int(rid_row[1][3]))
+            for rid_row in db.catalog.table("t").scan()
+        )
+        names = {
+            row[0]
+            for row in backend.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            ).rows
+        }
+        assert "idx_t_id" in names
+
+    def test_indexed_by_resolves_on_shipped_index(self):
+        db = _simple_db()
+        backend = SqliteBackend().ship(db)
+        got = backend.execute("SELECT id FROM t INDEXED BY idx_t_id WHERE id >= 2")
+        assert sorted(got.rows) == [(2,), (3,)]
+
+    def test_string_escaping_round_trips(self):
+        db = _simple_db()
+        backend = SqliteBackend().ship(db)
+        got = backend.execute("SELECT id FROM t WHERE label = 'it''s'")
+        assert got.rows == [(2,)]
+
+    def test_udf_registration_and_replacement(self):
+        backend = SqliteBackend()
+        backend.create_table("u", Schema.of(("x", ColumnType.INT)))
+        backend.bulk_load("u", [(1,), (2,)])
+        backend.register_udf("pick", lambda x: x == 1)
+        assert backend.execute("SELECT x FROM u WHERE pick(x)").rows == [(1,)]
+        backend.register_udf("pick", lambda x: x == 2)  # replaces
+        assert backend.execute("SELECT x FROM u WHERE pick(x)").rows == [(2,)]
+
+    def test_execution_error_wrapped(self):
+        backend = SqliteBackend()
+        with pytest.raises(ExecutionError, match="sqlite backend"):
+            backend.execute("SELECT * FROM missing_table")
+
+    def test_bulk_load_empty(self):
+        backend = SqliteBackend()
+        backend.create_table("e", Schema.of(("x", ColumnType.INT)))
+        assert backend.bulk_load("e", []) == 0
+        assert backend.execute("SELECT count(*) AS n FROM e").rows == [(0,)]
+
+    def test_close(self):
+        backend = SqliteBackend()
+        backend.close()
+        with pytest.raises(Exception):
+            backend.execute("SELECT 1")
+
+
+class TestMiddlewareWiring:
+    def test_sieve_registers_delta_udf_on_backend(self):
+        from repro.core import Sieve
+        from repro.core.delta import DELTA_UDF_NAME
+        from repro.policy import GroupDirectory, PolicyStore
+
+        db = _simple_db()
+        backend = SqliteBackend().ship(db)
+        store = PolicyStore(db, GroupDirectory())
+        Sieve(db, store, backend=backend)
+        # the Δ UDF is registered even though ship() ran before Sieve
+        # existed; calling it with an unknown key raises through the
+        # wrapped error path rather than "no such function".
+        with pytest.raises(ExecutionError) as err:
+            backend.execute(f"SELECT {DELTA_UDF_NAME}('missing-key', 1)")
+        assert "no such function" not in str(err.value)
+
+    def test_rewrite_info_sql_uses_backend_dialect(self):
+        from repro.core import Sieve
+        from repro.policy import GroupDirectory, ObjectCondition, Policy, PolicyStore
+
+        db = _simple_db()
+        store = PolicyStore(db, GroupDirectory())
+        backend = SqliteBackend().ship(db)
+        sieve = Sieve(db, store, backend=backend)
+        # A denied relation rewrites to WHERE False — which must print
+        # as SQLite's 0, not the MySQL keyword, in the logged SQL.
+        store.insert(Policy(
+            owner=1, querier="someone-else", purpose="p", table="t",
+            object_conditions=(ObjectCondition("owner", "=", 1),),
+        ))
+        info = sieve.execute_with_info("SELECT * FROM t", "nobody", "p")
+        assert "False" not in info.rewrite.sql
+        assert "FORCE INDEX" not in info.rewrite.sql
+        assert info.rewrite.sql == sieve.rewritten_sql("SELECT * FROM t", "nobody", "p")

@@ -1,0 +1,48 @@
+"""Smoke coverage for every script in examples/.
+
+Each example is a user-facing entry point documented in the README;
+none of them had test coverage, so a doc drift or API change could
+silently break them.  Every script must run to completion (exit 0)
+with src/ on PYTHONPATH, producing some stdout and no traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ directory is empty?"
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "sqlite_backend.py" in names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script: pathlib.Path):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+    assert "Traceback" not in proc.stderr
