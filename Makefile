@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend docs-check
+.PHONY: test bench-smoke bench bench-backend bench-service docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -19,6 +19,12 @@ bench-smoke:
 # The real-DBMS tier: Sieve vs the no-guard baseline, both on SQLite.
 bench-backend:
 	$(PYTHON) -m pytest benchmarks/bench_backend_sqlite.py -q --benchmark-only
+
+# The serving tier: closed-loop throughput/latency vs worker and
+# querier count on the bundled engine and the SQLite backend; asserts
+# zero failed requests (and >= 2x 1->4 worker scaling on >= 4 cores).
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service_throughput.py -q --benchmark-only
 
 # The full benchmark suite (minutes; writes benchmarks/results/).
 bench:

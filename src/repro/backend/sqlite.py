@@ -24,11 +24,27 @@ counting because the *counted* wrappers are what get registered.
 Column types map INT/TIME/DATE/BOOL → INTEGER, FLOAT → REAL,
 VARCHAR → TEXT (Python bools adapt to 0/1 on insert; ``True == 1``
 keeps differential row-set comparisons exact).
+
+Threading: ``sqlite3`` connections refuse cross-thread use, so the
+backend keeps **one connection per thread** (the seed's single shared
+connection raised ``ProgrammingError`` as soon as a
+:class:`~repro.service.SieveServer` worker touched it).  File-backed
+databases simply open the file per thread; ``":memory:"`` is silently
+promoted to a private shared-cache URI (``file:...?mode=memory&
+cache=shared``) with a keeper connection holding the database alive,
+so all threads still see one dataset.  UDF registrations are replayed
+onto each thread's connection (SQLite functions are per-connection
+state), tracked by a registration version so late ``register_udf``
+calls reach already-spawned workers.  Statements on a real sqlite
+engine release the GIL while stepping, which is what lets the service
+tier's throughput actually scale with worker count.
 """
 
 from __future__ import annotations
 
+import itertools
 import sqlite3
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.backend.base import Backend
@@ -49,19 +65,68 @@ _TYPE_MAP = {
 
 
 class SqliteBackend(Backend):
-    """Backend adapter over a ``sqlite3`` connection."""
+    """Backend adapter over per-thread ``sqlite3`` connections."""
 
     dialect = SQLITE_DIALECT
     personality = SQLITE  # shapes strategy choice + rewrite (bitmap-OR engine)
     name = "sqlite"
 
+    _memory_ids = itertools.count(1)
+
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self.connection = sqlite3.connect(path)
+        self._uri = False
+        if path == ":memory:":
+            # A plain :memory: connection per thread would give every
+            # thread its own empty database; a named shared-cache URI
+            # keeps one in-memory dataset visible to all of them.  The
+            # keeper connection below pins it alive across thread
+            # churn.
+            self.path = f"file:sieve-backend-{next(self._memory_ids)}?mode=memory&cache=shared"
+            self._uri = True
+        elif path.startswith("file:"):
+            self._uri = True
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        self._udfs: dict[str, Callable[..., Any]] = {}
+        self._udf_version = 0
         self.statements_executed = 0
+        self._keeper = self._new_connection()
+        self._local.state = (self._keeper, 0)  # creating thread reuses the keeper
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SqliteBackend(path={self.path!r})"
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The calling thread's connection (created on first use)."""
+        return self._conn()
+
+    def _new_connection(self) -> sqlite3.Connection:
+        # check_same_thread=False only so close() can shut down every
+        # connection from one thread; each connection is still *used*
+        # by exactly one thread (its creator) via the thread-local.
+        conn = sqlite3.connect(self.path, uri=self._uri, check_same_thread=False)
+        with self._lock:
+            self._connections.append(conn)
+        return conn
+
+    def _conn(self) -> sqlite3.Connection:
+        state = getattr(self._local, "state", None)
+        with self._lock:
+            version = self._udf_version
+            udfs = list(self._udfs.items())
+        if state is None:
+            conn = self._new_connection()
+        else:
+            conn, have_version = state
+            if have_version == version:
+                return conn
+        for udf_name, fn in udfs:
+            conn.create_function(udf_name, -1, _adapt_udf(fn))
+        self._local.state = (conn, version)
+        return conn
 
     # ------------------------------------------------------------------ DDL
 
@@ -85,8 +150,11 @@ class SqliteBackend(Backend):
         if not rows:
             return 0
         placeholders = ", ".join("?" for _ in rows[0])
-        with self.connection:
-            self.connection.executemany(
+        conn = self._conn()
+        # The context manager commits, which is what makes the loaded
+        # rows visible to the other threads' connections.
+        with conn:
+            conn.executemany(
                 f'INSERT INTO "{table}" VALUES ({placeholders})', rows
             )
         return len(rows)
@@ -96,8 +164,16 @@ class SqliteBackend(Backend):
     def register_udf(self, name: str, fn: Callable[..., Any]) -> None:
         # narg=-1: variadic, as the Δ UDF takes one key plus the
         # relation's columns in schema order.  Registration under the
-        # same name replaces the previous function.
-        self.connection.create_function(name, -1, _adapt_udf(fn))
+        # same name replaces the previous function — on every
+        # connection: the version bump makes other threads replay the
+        # registration set onto their connection at next use.
+        with self._lock:
+            self._udfs[name] = fn
+            self._udf_version += 1
+        state = getattr(self._local, "state", None)
+        if state is not None:
+            self._local.state = (state[0], -1)  # force replay, keep the conn
+        self._conn()
 
     # ---------------------------------------------------------------- query
 
@@ -107,14 +183,18 @@ class SqliteBackend(Backend):
         return QueryResult(columns=columns, rows=cursor.fetchall())
 
     def close(self) -> None:
-        self.connection.close()
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            conn.close()
 
     # ------------------------------------------------------------- plumbing
 
     def _run(self, sql: str) -> sqlite3.Cursor:
-        self.statements_executed += 1
+        with self._lock:
+            self.statements_executed += 1
         try:
-            return self.connection.execute(sql)
+            return self._conn().execute(sql)
         except sqlite3.Error as exc:
             raise ExecutionError(f"sqlite backend: {exc} — while running: {sql}") from exc
 

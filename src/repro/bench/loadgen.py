@@ -1,0 +1,151 @@
+"""Closed-loop load generation for the serving tier.
+
+A *closed-loop* client submits one request, waits for its result, and
+immediately submits the next — the standard way to measure a server's
+capacity without modelling an arrival process: with N clients there
+are at most N requests in the system, so measured throughput is the
+server's sustainable rate at concurrency N and latency percentiles
+are honest (no coordinated-omission artifact from a lagging open-loop
+schedule).
+
+:func:`run_closed_loop` drives a
+:class:`~repro.service.SieveServer` with one thread per
+:class:`ClientScript` (a (querier, purpose) plus the queries it
+cycles through), for a fixed duration or request count, and returns a
+:class:`LoadReport` — aggregate queries/sec plus client-observed
+latency percentiles (submit → result, queue wait included).  A
+rejected submission (:class:`~repro.common.errors.
+ServiceOverloadedError`, i.e. backpressure) is counted and retried
+after a short pause, so reports distinguish *shed* load from *failed*
+requests.
+
+``benchmarks/bench_service_throughput.py`` sweeps worker counts with
+this harness; ``examples/concurrent_server.py`` shows it in miniature.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.common.errors import ServiceOverloadedError
+from repro.service.server import LatencySummary, SieveServer
+
+#: How long a client sleeps after a backpressure rejection before
+#: retrying (seconds).  Long enough to let the queue drain a little,
+#: short enough that a closed-loop client stays busy.
+REJECTION_BACKOFF_S = 0.002
+
+
+@dataclass(frozen=True)
+class ClientScript:
+    """One closed-loop client: a metadata context plus its queries."""
+
+    querier: Any
+    purpose: str
+    sqls: Sequence[Any]
+
+    def sql_at(self, i: int) -> Any:
+        return self.sqls[i % len(self.sqls)]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one closed-loop run."""
+
+    clients: int
+    duration_s: float
+    completed: int
+    failed: int
+    rejected: int
+    latency: LatencySummary = field(default_factory=LatencySummary)
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def row(self) -> list[Any]:
+        """Markdown-table row used by the throughput bench."""
+        return [
+            self.clients,
+            f"{self.throughput_qps:,.0f}",
+            f"{self.latency.p50_ms:,.2f}",
+            f"{self.latency.p95_ms:,.2f}",
+            f"{self.latency.p99_ms:,.2f}",
+            self.rejected,
+            self.failed,
+        ]
+
+
+def run_closed_loop(
+    server: SieveServer,
+    scripts: Sequence[ClientScript],
+    duration_s: float | None = None,
+    requests_per_client: int | None = None,
+) -> LoadReport:
+    """Drive ``server`` with one thread per script; closed loop.
+
+    Exactly one of ``duration_s`` / ``requests_per_client`` selects
+    the stopping rule.  The report's ``duration_s`` is the measured
+    wall time (first submission to last completion), so
+    ``throughput_qps`` is comparable across stopping rules.
+    """
+    if (duration_s is None) == (requests_per_client is None):
+        raise ValueError("pass exactly one of duration_s / requests_per_client")
+    lock = threading.Lock()
+    latencies: list[float] = []
+    failed = 0
+    rejected = 0
+    deadline = [0.0]  # set just before the clients start
+
+    def client_loop(script: ClientScript) -> None:
+        nonlocal failed, rejected
+        local_latencies: list[float] = []
+        local_failed = 0
+        local_rejected = 0
+        i = 0
+        while True:
+            if requests_per_client is not None and i >= requests_per_client:
+                break
+            if duration_s is not None and time.perf_counter() >= deadline[0]:
+                break
+            sql = script.sql_at(i)
+            i += 1
+            start = time.perf_counter()
+            try:
+                future = server.submit(sql, script.querier, script.purpose)
+            except ServiceOverloadedError:
+                local_rejected += 1
+                time.sleep(REJECTION_BACKOFF_S)
+                continue
+            try:
+                future.result()
+            except Exception:
+                local_failed += 1
+            local_latencies.append(time.perf_counter() - start)
+        with lock:
+            latencies.extend(local_latencies)
+            failed += local_failed
+            rejected += local_rejected
+
+    threads = [
+        threading.Thread(target=client_loop, args=(script,), name=f"loadgen-{i}")
+        for i, script in enumerate(scripts)
+    ]
+    started = time.perf_counter()
+    deadline[0] = started + (duration_s or 0.0)
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        clients=len(scripts),
+        duration_s=elapsed,
+        completed=len(latencies) - failed,
+        failed=failed,
+        rejected=rejected,
+        latency=LatencySummary.of_seconds(latencies),
+    )

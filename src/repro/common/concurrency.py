@@ -1,0 +1,173 @@
+"""Thread-coordination primitives for the concurrent serving tier.
+
+The stdlib ships neither a readers-writer lock nor a single-flight
+helper, and the service layer (:mod:`repro.service`) needs exactly
+those two:
+
+* :class:`RWLock` — many concurrent readers, one exclusive writer.
+  The write side is *reentrant* (the owning thread may re-acquire it,
+  and may also take the read side), because
+  :meth:`PolicyStore.update <repro.policy.store.PolicyStore.update>`
+  is implemented as delete + insert and both halves take the write
+  lock.  Writers are preferred: once a writer is waiting, new readers
+  queue behind it, so a steady stream of queries cannot starve policy
+  mutations.
+* :class:`SingleFlight` — de-duplicates concurrent builds of the same
+  key: the first caller (the *leader*) runs the builder, every
+  concurrent caller for the same key blocks and receives the leader's
+  result (or exception).  The shared guard cache uses this so N
+  simultaneous queries by one querier trigger exactly one guard
+  generation.
+
+Both primitives are GIL-agnostic: they rely only on
+:mod:`threading` condition variables, never on the atomicity of
+bytecode.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock with a reentrant write side."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None  # owning thread ident
+        self._write_depth = 0
+        self._writers_waiting = 0
+
+    # ---------------------------------------------------------------- read
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                # Write ownership implies read permission (reentrant).
+                self._write_depth += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth -= 1
+                return
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # --------------------------------------------------------------- write
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> bool:
+        """Release one write hold; returns True when the outermost hold
+        was released (i.e. the lock is now free for other threads)."""
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by non-owning thread")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+                return True
+            return False
+
+    def write_depth(self) -> int:
+        """The calling thread's write-hold depth (0 when not owner)."""
+        with self._cond:
+            if self._writer == threading.get_ident():
+                return self._write_depth
+            return 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class _Flight:
+    """One in-progress build shared by a leader and its followers."""
+
+    __slots__ = ("event", "result", "exception")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.exception: BaseException | None = None
+
+
+class SingleFlight:
+    """Keyed de-duplication of concurrent function calls.
+
+    ``do(key, fn)`` returns ``(result, leader)``: the leader actually
+    ran ``fn``; followers waited and share its outcome.  A failing
+    leader propagates its exception to every follower, and the key is
+    cleared either way so the next call retries fresh.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Any, _Flight] = {}
+
+    def do(self, key: Any, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.event.wait()
+            if flight.exception is not None:
+                raise flight.exception
+            return flight.result, False
+        try:
+            flight.result = fn()
+        except BaseException as exc:
+            flight.exception = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+        return flight.result, True
+
+    def in_flight(self) -> int:
+        """Number of builds currently running (introspection/tests)."""
+        with self._lock:
+            return len(self._flights)

@@ -37,3 +37,20 @@ class PolicyError(ReproError):
 
 class SieveError(ReproError):
     """Failures specific to the Sieve middleware layer."""
+
+
+class ServiceError(SieveError):
+    """Failures of the concurrent serving tier (:mod:`repro.service`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission rejected: the server's bounded queue is full.
+
+    Backpressure, not a bug — the caller should retry later or shed
+    load.  Rejections are counted in ``counters.service_rejections``.
+    """
+
+
+class ServiceStoppedError(ServiceError):
+    """The request cannot run because the server is not accepting work
+    (never started, stopping, or already stopped)."""

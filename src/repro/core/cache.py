@@ -38,16 +38,19 @@ this layer sits in the dataflow.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
+from repro.common.concurrency import SingleFlight
 from repro.core.guards import GuardedExpression
 from repro.policy.model import Policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (middleware imports us)
     from repro.core.middleware import Sieve, SieveExecution
     from repro.engine.executor import QueryResult
+    from repro.policy.store import PolicySnapshot
     from repro.sql.ast import Query
 
 DEFAULT_GUARD_CACHE_CAPACITY = 512
@@ -61,6 +64,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Lookups that found a concurrent build of the same key in flight
+    #: and waited for it instead of duplicating the work (service tier).
+    coalesced: int = 0
 
     @property
     def lookups(self) -> int:
@@ -78,6 +84,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "coalesced": self.coalesced,
             "hit_rate": self.hit_rate,
         }
 
@@ -108,6 +115,16 @@ class GuardCache:
     dropped.  :meth:`on_policy_mutation` is the targeted-invalidation
     hook wired to :meth:`PolicyStore.add_mutation_listener
     <repro.policy.store.PolicyStore.add_mutation_listener>`.
+
+    The cache is **thread-safe** and process-wide shareable: every
+    public method holds an internal lock around the LRU dict (the
+    seed's bare ``OrderedDict`` corrupted under concurrent sessions —
+    eviction during another thread's iteration), and the lock is never
+    held while calling out (no store/builder re-entry → no lock-order
+    cycles).  :meth:`resolve` adds *single-flight* de-duplication: N
+    concurrent misses of the same ``(querier, purpose, relation,
+    epoch)`` run one builder; the rest wait and share the entry
+    (``stats.coalesced``).
     """
 
     def __init__(self, capacity: int = DEFAULT_GUARD_CACHE_CAPACITY):
@@ -116,16 +133,20 @@ class GuardCache:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[tuple[Any, str, str], CachedGuardEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._flights = SingleFlight()
 
     @staticmethod
     def _key(querier: Any, purpose: str, table: str) -> tuple[Any, str, str]:
         return (querier, purpose, table.lower())
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def keys(self) -> list[tuple[Any, str, str]]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     # --------------------------------------------------------------- lookup
 
@@ -133,19 +154,28 @@ class GuardCache:
         self, querier: Any, purpose: str, table: str, epoch: int
     ) -> CachedGuardEntry | None:
         key = self._key(querier, purpose, table)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.epoch != epoch:
-            # Stale: a mutation hook never saw this entry (e.g. it was
-            # admitted under an older epoch after capacity churn).
-            del self._entries[key]
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.epoch < epoch:
+                # Stale: a mutation hook never saw this entry (e.g. it
+                # was admitted under an older epoch after capacity
+                # churn).
+                del self._entries[key]
+                self.stats.misses += 1
+                return None
+            if entry.epoch > epoch:
+                # The caller's snapshot is pinned behind a concurrent
+                # mutation that carried this entry forward.  Miss for
+                # this request (it must plan against its own epoch) but
+                # KEEP the entry — it is valid for live-epoch traffic.
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(
         self,
@@ -165,16 +195,63 @@ class GuardCache:
             expression=expression,
             epoch=epoch,
         )
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.epoch > epoch:
+                # A request pinned to an older snapshot must not
+                # clobber state already valid at a newer epoch; the
+                # caller still gets its own (epoch-consistent) entry.
+                return entry
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return entry
+
+    def resolve(
+        self,
+        querier: Any,
+        purpose: str,
+        table: str,
+        epoch: int,
+        builder: "Any",
+    ) -> tuple[CachedGuardEntry, bool, bool]:
+        """Get-or-build with single-flight de-duplication.
+
+        ``builder()`` must return ``(entry, rebuilt)`` and is expected
+        to :meth:`put` the entry itself (it runs *outside* the cache
+        lock — it may take arbitrarily long and re-enter the cache).
+        Returns ``(entry, rebuilt, hit)``; followers of a coalesced
+        build report ``rebuilt=False`` (they did not regenerate
+        anything themselves).
+        """
+        entry = self.get(querier, purpose, table, epoch)
+        if entry is not None:
+            return entry, False, True
+        flight_key = (*self._key(querier, purpose, table), epoch)
+        (entry, rebuilt), leader = self._flights.do(flight_key, builder)
+        if not leader:
+            with self._lock:
+                self.stats.coalesced += 1
+            rebuilt = False
+        return entry, rebuilt, False
+
+    def charge(self, counters, hit: bool) -> None:
+        """Record a lookup on the engine's deterministic counters,
+        under this cache's lock — plain ``+=`` from concurrent workers
+        loses increments (the exact hazard the ``service_*`` counters
+        document), and benches assert on these values."""
+        with self._lock:
+            if hit:
+                counters.guard_cache_hits += 1
+            else:
+                counters.guard_cache_misses += 1
 
     def peek(self, querier: Any, purpose: str, table: str) -> CachedGuardEntry | None:
         """The stored entry regardless of epoch (introspection/tests)."""
-        return self._entries.get(self._key(querier, purpose, table))
+        with self._lock:
+            return self._entries.get(self._key(querier, purpose, table))
 
     # --------------------------------------------------------- invalidation
 
@@ -182,22 +259,24 @@ class GuardCache:
         """Drop entries matching the given querier and/or relation
         (``None`` matches everything).  Returns the number dropped."""
         table_lc = table.lower() if table is not None else None
-        doomed = [
-            key
-            for key, entry in self._entries.items()
-            if (querier is None or entry.querier == querier)
-            and (table_lc is None or entry.table == table_lc)
-        ]
-        for key in doomed:
-            del self._entries[key]
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if (querier is None or entry.querier == querier)
+                and (table_lc is None or entry.table == table_lc)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += count
-        return count
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += count
+            return count
 
     def on_policy_mutation(self, kind: str, policy: Policy, epoch: int, groups) -> int:
         """Targeted invalidation after a policy insert/delete/update.
@@ -215,19 +294,135 @@ class GuardCache:
         del kind  # insert/delete/update all invalidate identically
         table_lc = policy.table.lower()
         dropped = 0
-        for key in list(self._entries):
-            entry = self._entries[key]
-            affected = entry.table == table_lc and (
-                policy.querier == entry.querier
-                or policy.querier in groups.groups_of(entry.querier)
-            )
-            if affected:
-                del self._entries[key]
-                dropped += 1
-            elif entry.epoch == epoch - 1:
-                entry.epoch = epoch
-        self.stats.invalidations += dropped
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                affected = entry.table == table_lc and (
+                    policy.querier == entry.querier
+                    or policy.querier in groups.groups_of(entry.querier)
+                )
+                if affected:
+                    del self._entries[key]
+                    dropped += 1
+                elif entry.epoch == epoch - 1:
+                    entry.epoch = epoch
+            self.stats.invalidations += dropped
         return dropped
+
+
+DEFAULT_REWRITE_CACHE_CAPACITY = 256
+
+
+@dataclass
+class CachedRewrite:
+    """One memoized enforcement rewrite (serving-tier hot path)."""
+
+    rewritten: "Query"
+    info: Any  # RewriteInfo (not imported: cycle with core.rewriter)
+    policies_considered: int
+    epoch: int
+
+
+class RewriteCache:
+    """Bounded, thread-safe LRU of full enforcement rewrites, keyed by
+    ``(querier, purpose, sql_text)`` and validated by policy epoch.
+
+    The guard cache amortizes the *corpus* work (PQM filter + guard
+    fetch); repeated identical queries still re-pay parse → strategy →
+    rewrite → print on every call, which under a serving tier is the
+    dominant per-request CPU once guards are warm.  An entry is valid
+    exactly while the policy epoch is unchanged — the same invariant
+    the guard cache uses, since the rewrite is a pure function of
+    (query text, guarded expressions at this epoch, engine
+    personality).  Off by default on a bare :class:`Sieve`
+    (``rewrite_cache_capacity=0``) so per-query counter semantics stay
+    exactly as documented; :class:`~repro.service.SieveServer` enables
+    it.
+
+    Caveats mirror the guard cache's: group-directory edits and
+    ``db.analyze()`` don't bump the epoch — call
+    :meth:`Sieve.invalidate_caches
+    <repro.core.middleware.Sieve.invalidate_caches>` after either.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_REWRITE_CACHE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("rewrite cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple[Any, str, str], CachedRewrite]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, querier: Any, purpose: str, sql: str, epoch: int) -> CachedRewrite | None:
+        key = (querier, purpose, sql)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.epoch < epoch:
+                del self._entries[key]  # stale: no mutation hook re-stamps rewrites
+                self.stats.misses += 1
+                return None
+            if entry.epoch > epoch:
+                # Caller pinned behind a concurrent mutation: miss, but
+                # keep the entry that live-epoch traffic is using (same
+                # rule as GuardCache.get).
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(
+        self,
+        querier: Any,
+        purpose: str,
+        sql: str,
+        epoch: int,
+        rewritten: "Query",
+        info: Any,
+        policies_considered: int,
+    ) -> CachedRewrite:
+        entry = CachedRewrite(
+            rewritten=rewritten,
+            info=info,
+            policies_considered=policies_considered,
+            epoch=epoch,
+        )
+        key = (querier, purpose, sql)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.epoch > epoch:
+                return entry  # never clobber a fresher-epoch rewrite
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def invalidate(self, querier: Any = None) -> int:
+        """Drop entries for one querier (``None`` = everyone)."""
+        with self._lock:
+            doomed = [
+                key for key in self._entries if querier is None or key[0] == querier
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += count
+            return count
 
 
 class SieveSession:
@@ -260,41 +455,56 @@ class SieveSession:
 
     # ----------------------------------------------------------- resolution
 
-    def resolve(self, table: str) -> tuple[CachedGuardEntry, bool]:
+    def resolve(
+        self, table: str, snapshot: "PolicySnapshot | None" = None
+    ) -> tuple[CachedGuardEntry, bool]:
         """Guard state for one relation, from cache when warm.
 
         Returns ``(entry, regenerated?)`` where ``regenerated`` is True
         only when this call rebuilt the guarded expression (mirrors
         :meth:`GuardStore.get_or_build
         <repro.core.guard_store.GuardStore.get_or_build>`).
+
+        ``snapshot`` pins the corpus view: the middleware passes one
+        :meth:`PolicyStore.snapshot
+        <repro.policy.store.PolicyStore.snapshot>` per request so every
+        relation resolves against the same epoch even while writers
+        mutate concurrently.  Misses are de-duplicated process-wide:
+        concurrent misses of the same key wait for one build
+        (single-flight) instead of each re-generating the guards.
         """
         sieve = self._sieve
-        store = sieve.policy_store
         counters = sieve.db.counters
-        epoch = store.epoch
-        cached = sieve.guard_cache.get(self.querier, self.purpose, table, epoch)
-        if cached is not None:
-            counters.guard_cache_hits += 1
-            return cached, False
-        counters.guard_cache_misses += 1
-        policies = store.policies_for(self.querier, self.purpose, table)
-        expression: GuardedExpression | None = None
-        rebuilt = False
-        if policies:
-            expression, rebuilt = sieve.guarded_expression_for(
-                self.querier, self.purpose, table
+        snap = snapshot if snapshot is not None else sieve.policy_store.snapshot()
+
+        def build() -> tuple[CachedGuardEntry, bool]:
+            policies = snap.policies_for(self.querier, self.purpose, table)
+            expression: GuardedExpression | None = None
+            rebuilt = False
+            if policies:
+                expression, rebuilt = sieve.guarded_expression_for(
+                    self.querier, self.purpose, table, snapshot=snap
+                )
+            entry = sieve.guard_cache.put(
+                self.querier, self.purpose, table, snap.epoch, policies, expression
             )
-        entry = sieve.guard_cache.put(
-            self.querier, self.purpose, table, epoch, policies, expression
+            return entry, rebuilt
+
+        entry, rebuilt, hit = sieve.guard_cache.resolve(
+            self.querier, self.purpose, table, snap.epoch, build
         )
+        sieve.guard_cache.charge(counters, hit)
         return entry, rebuilt
 
     def refresh(self) -> int:
-        """Drop this querier's cached guard state in both tiers — the
-        LRU and the guard store's persisted expressions (e.g. after
-        group directory edits, which bypass the policy epoch; a stale
-        expression must not be re-admitted from the store)."""
+        """Drop this querier's cached guard state in every tier — the
+        LRU, the rewrite memo (when enabled), and the guard store's
+        persisted expressions (e.g. after group directory edits, which
+        bypass the policy epoch; a stale expression must not be
+        re-admitted from the store)."""
         dropped = self._sieve.guard_cache.invalidate(querier=self.querier)
+        if self._sieve.rewrite_cache is not None:
+            dropped += self._sieve.rewrite_cache.invalidate(querier=self.querier)
         dropped += self._sieve.guard_store.invalidate(querier=self.querier)
         return dropped
 

@@ -28,6 +28,7 @@ regeneration can never leave a stale partition behind.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Any, Callable
 
@@ -51,6 +52,13 @@ class DeltaOperator:
         self.db = db
         self._partitions: dict[str, dict[Any, list[Callable[[tuple], bool]]]] = {}
         self._column_index: dict[str, int] = {}
+        # Guards registration bookkeeping only.  The UDF read path
+        # (:meth:`_call`) stays lock-free: it performs single dict
+        # lookups, and :meth:`sync_prefix` replaces a key's partition
+        # with one atomic assignment, so a concurrent reader sees the
+        # old state or the new — never a missing key for an unchanged
+        # guard.
+        self._lock = threading.Lock()
         db.create_function(DELTA_UDF_NAME, self._call)
 
     @classmethod
@@ -63,8 +71,11 @@ class DeltaOperator:
 
     # ------------------------------------------------------------- plumbing
 
-    def register_guard(self, guard_key: str, guard: Guard, table_name: str) -> None:
-        """Compile a guard's partition for Δ evaluation.
+    def _compile_partition(
+        self, guard: Guard, table_name: str
+    ) -> tuple[int, dict[Any, list[Callable[[tuple], bool]]]]:
+        """Compile one guard's partition: (owner column position,
+        owner-bucketed predicate closures).
 
         Policies are bucketed by their owner value so the tuple's owner
         retrieves only the policies that could possibly allow it — the
@@ -73,7 +84,6 @@ class DeltaOperator:
         table = self.db.catalog.table(table_name)
         schema_names = table.schema.names
         owner_pos = table.schema.index_of("owner")
-        self._column_index[guard_key] = owner_pos
         binding = RowBinding.for_table(table_name, schema_names)
         compiler = ExprCompiler(binding, udfs={}, subquery_fn=None)
         buckets: dict[Any, list[Callable[[tuple], bool]]] = defaultdict(list)
@@ -90,19 +100,58 @@ class DeltaOperator:
             owners = owner_oc.value if owner_oc.op == "IN" else [owner_oc.value]
             for owner in owners:
                 buckets[owner].append(fn)
-        self._partitions[guard_key] = dict(buckets)
+        return owner_pos, dict(buckets)
+
+    def register_guard(self, guard_key: str, guard: Guard, table_name: str) -> None:
+        """Compile and install one guard's partition for Δ evaluation."""
+        owner_pos, buckets = self._compile_partition(guard, table_name)
+        with self._lock:
+            self._column_index[guard_key] = owner_pos
+            self._partitions[guard_key] = buckets
+
+    def sync_prefix(
+        self, prefix: str, registrations: dict[str, tuple[Guard, str]]
+    ) -> None:
+        """Make ``prefix``'s registered key set exactly ``registrations``
+        (``{guard_key: (guard, table_name)}``).
+
+        Keys are *overwritten in place* and only then are stale keys
+        dropped — unlike unregister-then-register there is no window in
+        which a concurrently executing query's Δ call finds its key
+        missing.  This is what lets the serving tier re-run the rewrite
+        for one (querier, purpose) while an earlier rewrite's query is
+        still executing.
+        """
+        compiled = {
+            key: self._compile_partition(guard, table_name)
+            for key, (guard, table_name) in registrations.items()
+        }
+        with self._lock:
+            for key, (owner_pos, buckets) in compiled.items():
+                self._column_index[key] = owner_pos
+                self._partitions[key] = buckets
+            stale = [
+                k
+                for k in self._partitions
+                if k.startswith(prefix) and k not in registrations
+            ]
+            for key in stale:
+                del self._partitions[key]
+                del self._column_index[key]
 
     def unregister_prefix(self, prefix: str) -> None:
         """Drop all guard partitions whose key starts with ``prefix``
         (used when a guarded expression is regenerated)."""
-        stale = [k for k in self._partitions if k.startswith(prefix)]
-        for key in stale:
-            del self._partitions[key]
-            del self._column_index[key]
+        with self._lock:
+            stale = [k for k in self._partitions if k.startswith(prefix)]
+            for key in stale:
+                del self._partitions[key]
+                del self._column_index[key]
 
     @property
     def registered_keys(self) -> list[str]:
-        return list(self._partitions)
+        with self._lock:
+            return list(self._partitions)
 
     # ------------------------------------------------------------- the UDF
 

@@ -23,6 +23,7 @@ to :meth:`GuardStore.get_or_build` here.
 from __future__ import annotations
 
 import itertools
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -56,6 +57,14 @@ class GuardStore:
         self.db = db
         self.policy_store = policy_store
         self._cache: dict[CacheKey, _CacheEntry] = {}
+        # Serializes guard persistence: builds write rGE/rGG/rGP rows
+        # into the bundled engine, whose heap/index internals are not
+        # safe under concurrent mutation.  Reentrant because
+        # Sieve.guarded_expression_for wraps its decide-and-build
+        # sequence in the same lock.  Never held while reading the
+        # policy store (builders consume a pre-taken snapshot), so no
+        # ordering against the store's RW lock can arise.
+        self.lock = threading.RLock()
         self._ge_ids = itertools.count(1)
         self._guard_ids = itertools.count(1)
         self._install()
@@ -111,30 +120,38 @@ class GuardStore:
     # ------------------------------------------------------------ staleness
 
     def _on_policy_change(self, policy: Policy) -> None:
-        """Policy inserted/deleted: flip outdated on affected queriers."""
-        for (querier, purpose, table), entry in self._cache.items():
-            if table != policy.table.lower():
-                continue
-            affected = policy.querier == querier or (
-                policy.querier in self.policy_store.groups.groups_of(querier)
-            )
-            if not affected:
-                continue
-            entry.outdated = True
-            entry.inserts_since_generation += 1
-            if entry.ge_rowid is not None:
-                table_obj = self.db.catalog.table(GE_TABLE)
-                row = list(table_obj.row(entry.ge_rowid))
-                row[5] = True
-                self.db.update_row(GE_TABLE, entry.ge_rowid, row)
+        """Policy inserted/deleted: flip outdated on affected queriers.
+
+        Fired by the policy store *after* its write lock is released,
+        so taking the guard-store lock here cannot form a cycle with a
+        concurrent build (which holds this lock but never blocks on the
+        policy store — builders read a pre-taken snapshot)."""
+        with self.lock:
+            for (querier, purpose, table), entry in self._cache.items():
+                if table != policy.table.lower():
+                    continue
+                affected = policy.querier == querier or (
+                    policy.querier in self.policy_store.groups.groups_of(querier)
+                )
+                if not affected:
+                    continue
+                entry.outdated = True
+                entry.inserts_since_generation += 1
+                if entry.ge_rowid is not None:
+                    table_obj = self.db.catalog.table(GE_TABLE)
+                    row = list(table_obj.row(entry.ge_rowid))
+                    row[5] = True
+                    self.db.update_row(GE_TABLE, entry.ge_rowid, row)
 
     def is_outdated(self, querier: Any, purpose: str, table: str) -> bool:
-        entry = self._cache.get((querier, purpose, table.lower()))
-        return entry is None or entry.outdated
+        with self.lock:
+            entry = self._cache.get((querier, purpose, table.lower()))
+            return entry is None or entry.outdated
 
     def inserts_since_generation(self, querier: Any, purpose: str, table: str) -> int:
-        entry = self._cache.get((querier, purpose, table.lower()))
-        return entry.inserts_since_generation if entry else 0
+        with self.lock:
+            entry = self._cache.get((querier, purpose, table.lower()))
+            return entry.inserts_since_generation if entry else 0
 
     # --------------------------------------------------------------- access
 
@@ -151,32 +168,37 @@ class GuardStore:
         Returns (expression, regenerated?).
         """
         key: CacheKey = (querier, purpose, table.lower())
-        entry = self._cache.get(key)
-        if entry is not None and not entry.outdated and not force_rebuild:
-            return entry.expression, False
-        expression = builder()
-        self._persist(key, expression, replacing=entry)
-        return expression, True
+        with self.lock:
+            entry = self._cache.get(key)
+            if entry is not None and not entry.outdated and not force_rebuild:
+                return entry.expression, False
+            expression = builder()
+            self._persist(key, expression, replacing=entry)
+            return expression, True
 
     def peek(self, querier: Any, purpose: str, table: str) -> GuardedExpression | None:
-        entry = self._cache.get((querier, purpose, table.lower()))
-        return entry.expression if entry else None
+        with self.lock:
+            entry = self._cache.get((querier, purpose, table.lower()))
+            return entry.expression if entry else None
 
     def cached_expressions(self) -> list[GuardedExpression]:
-        return [entry.expression for entry in self._cache.values()]
+        with self.lock:
+            return [entry.expression for entry in self._cache.values()]
 
     def cache_size(self) -> int:
         """Number of (querier, purpose, relation) expressions held."""
-        return len(self._cache)
+        with self.lock:
+            return len(self._cache)
 
     def drop(self, querier: Any, purpose: str, table: str) -> bool:
         """Forget one cached expression and its persisted rows
         (explicit invalidation; the next query rebuilds from scratch)."""
-        entry = self._cache.pop((querier, purpose, table.lower()), None)
-        if entry is None:
-            return False
-        self._delete_rows(entry)
-        return True
+        with self.lock:
+            entry = self._cache.pop((querier, purpose, table.lower()), None)
+            if entry is None:
+                return False
+            self._delete_rows(entry)
+            return True
 
     def invalidate(self, querier: Any = None) -> int:
         """Drop every cached expression (and its persisted rows) for
@@ -184,12 +206,13 @@ class GuardStore:
         behind :meth:`Sieve.invalidate_caches
         <repro.core.middleware.Sieve.invalidate_caches>` after group
         directory edits, which the ``outdated`` machinery cannot see."""
-        doomed = [
-            key for key in self._cache if querier is None or key[0] == querier
-        ]
-        for key in doomed:
-            self._delete_rows(self._cache.pop(key))
-        return len(doomed)
+        with self.lock:
+            doomed = [
+                key for key in self._cache if querier is None or key[0] == querier
+            ]
+            for key in doomed:
+                self._delete_rows(self._cache.pop(key))
+            return len(doomed)
 
     # ---------------------------------------------------------- persistence
 

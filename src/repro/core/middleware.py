@@ -50,7 +50,13 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.cache import DEFAULT_GUARD_CACHE_CAPACITY, GuardCache, SieveSession
+from repro.core.cache import (
+    DEFAULT_GUARD_CACHE_CAPACITY,
+    DEFAULT_REWRITE_CACHE_CAPACITY,
+    GuardCache,
+    RewriteCache,
+    SieveSession,
+)
 from repro.core.cost_model import SieveCostModel, calibrate
 from repro.core.delta import DELTA_UDF_NAME, DeltaOperator
 from repro.core.generation import build_guarded_expression
@@ -103,6 +109,7 @@ class Sieve:
         regeneration: RegenerationController | None = None,
         guard_cache_capacity: int = DEFAULT_GUARD_CACHE_CAPACITY,
         backend=None,
+        rewrite_cache_capacity: int = 0,
     ):
         self.db = db
         self.policy_store = policy_store
@@ -111,6 +118,13 @@ class Sieve:
         self.guard_store = GuardStore(db, policy_store)
         self.regeneration = regeneration
         self.guard_cache = GuardCache(capacity=guard_cache_capacity)
+        # Full-rewrite memoization for the serving tier; 0 = off (the
+        # default) so a bare Sieve keeps per-query counter semantics.
+        self.rewrite_cache = (
+            RewriteCache(capacity=rewrite_cache_capacity)
+            if rewrite_cache_capacity
+            else None
+        )
         # Optional real-DBMS execution tier (repro.backend).  The whole
         # middleware pipeline — PQM filter, guard cache, strategy,
         # rewrite, Δ registration — is unchanged; only the final
@@ -138,14 +152,14 @@ class Sieve:
         # deregisters itself.
         self_ref = weakref.ref(self)
 
-        def _mutation_hook(kind: str, policy) -> None:
+        def _mutation_hook(kind: str, policy, epoch: int) -> None:
             live = self_ref()
             if live is None:
                 policy_store.remove_mutation_listener(_mutation_hook)
                 return
-            live._on_policy_mutation(kind, policy)
+            live._on_policy_mutation(kind, policy, epoch)
 
-        policy_store.add_mutation_listener(_mutation_hook)
+        policy_store.add_mutation_listener(_mutation_hook, with_epoch=True)
 
     # ------------------------------------------------------------- sessions
 
@@ -156,18 +170,39 @@ class Sieve:
         to create and any number may coexist."""
         return SieveSession(self, querier, purpose)
 
-    def _on_policy_mutation(self, kind: str, policy) -> None:
-        """Targeted guard-cache invalidation on corpus mutations."""
+    def enable_rewrite_cache(
+        self, capacity: int = DEFAULT_REWRITE_CACHE_CAPACITY
+    ) -> RewriteCache:
+        """Turn on full-rewrite memoization (idempotent); the serving
+        tier calls this so repeated identical queries skip parse →
+        strategy → rewrite → print once guards are warm."""
+        if self.rewrite_cache is None:
+            self.rewrite_cache = RewriteCache(capacity=capacity)
+        return self.rewrite_cache
+
+    def _on_policy_mutation(self, kind: str, policy, epoch: int | None = None) -> None:
+        """Targeted guard-cache invalidation on corpus mutations.
+
+        ``epoch`` is the mutated-to version of *this* event; events are
+        dispatched after the store's write lock drops, so the live
+        ``store.epoch`` may already be ahead (e.g. the second event of
+        a cross-querier update) and re-stamping against it would strand
+        unrelated warm entries one epoch short."""
+        if epoch is None:
+            epoch = self.policy_store.epoch
         self.guard_cache.on_policy_mutation(
-            kind, policy, self.policy_store.epoch, self.policy_store.groups
+            kind, policy, epoch, self.policy_store.groups
         )
 
     def invalidate_caches(self) -> int:
-        """Drop all cached guard state — both the LRU tier and the
-        guard store's expressions (e.g. after editing the group
-        directory, which does not bump the policy epoch; expressions
-        built under the old membership must not survive either tier)."""
+        """Drop all cached guard state — the LRU tier, the rewrite
+        memo, and the guard store's expressions (e.g. after editing
+        the group directory, which does not bump the policy epoch;
+        state built under the old membership must not survive any
+        tier)."""
         dropped = self.guard_cache.clear()
+        if self.rewrite_cache is not None:
+            dropped += self.rewrite_cache.clear()
         dropped += self.guard_store.invalidate()
         return dropped
 
@@ -184,12 +219,26 @@ class Sieve:
         return self.cost_model
 
     def guarded_expression_for(
-        self, querier: Any, purpose: str, table: str, force_rebuild: bool = False
+        self,
+        querier: Any,
+        purpose: str,
+        table: str,
+        force_rebuild: bool = False,
+        snapshot=None,
     ) -> tuple[GuardedExpression, bool]:
-        """Fetch/build G(P) for one (querier, purpose, relation)."""
+        """Fetch/build G(P) for one (querier, purpose, relation).
+
+        ``snapshot`` (a :class:`~repro.policy.store.PolicySnapshot`)
+        pins the corpus the build reads; without one the live store is
+        consulted.  The whole decide-and-build sequence runs under the
+        guard store's lock — guard persistence writes rGE/rGG/rGP rows
+        into the bundled engine, which is not safe to mutate from two
+        threads (builds are the amortized-away cold path, so the
+        serialization never sits on warm-path queries)."""
 
         def builder() -> GuardedExpression:
-            policies = self.policy_store.policies_for(querier, purpose, table)
+            source = snapshot if snapshot is not None else self.policy_store
+            policies = source.policies_for(querier, purpose, table)
             heap = self.db.catalog.table(table)
             return build_guarded_expression(
                 policies,
@@ -202,20 +251,21 @@ class Sieve:
             )
 
         force = force_rebuild
-        if not force and self.regeneration is not None:
-            # Section 6: defer regeneration until the k-th insertion.
-            if self.guard_store.is_outdated(querier, purpose, table):
-                cached = self.guard_store.peek(querier, purpose, table)
-                if cached is not None:
-                    inserts = self.guard_store.inserts_since_generation(
-                        querier, purpose, table
-                    )
-                    avg_cardinality = cached.total_cardinality / max(1, len(cached.guards))
-                    if not self.regeneration.decide(inserts, avg_cardinality):
-                        return cached, False
-        return self.guard_store.get_or_build(
-            querier, purpose, table, builder, force_rebuild=force
-        )
+        with self.guard_store.lock:
+            if not force and self.regeneration is not None:
+                # Section 6: defer regeneration until the k-th insertion.
+                if self.guard_store.is_outdated(querier, purpose, table):
+                    cached = self.guard_store.peek(querier, purpose, table)
+                    if cached is not None:
+                        inserts = self.guard_store.inserts_since_generation(
+                            querier, purpose, table
+                        )
+                        avg_cardinality = cached.total_cardinality / max(1, len(cached.guards))
+                        if not self.regeneration.decide(inserts, avg_cardinality):
+                            return cached, False
+            return self.guard_store.get_or_build(
+                querier, purpose, table, builder, force_rebuild=force
+            )
 
     # ------------------------------------------------------------ execution
 
@@ -226,13 +276,33 @@ class Sieve:
 
         Per-relation policy filtering and guard fetch go through the
         session guard cache; only parse, strategy choice and rewrite
-        remain per-query work on the warm path."""
+        remain per-query work on the warm path.  The whole request
+        plans against one policy snapshot, so concurrent mutations can
+        never show a query a half-applied corpus (an update's delete
+        and re-insert are observed together or not at all)."""
         start = time.perf_counter()
+        metadata = QueryMetadata(querier=querier, purpose=purpose)
+        snapshot = self.policy_store.snapshot()
+
+        # Serving-tier fast path: an identical (querier, purpose, SQL
+        # text) at an unchanged epoch reuses the finished rewrite —
+        # parse, strategy, rewrite and printing all skipped.
+        if self.rewrite_cache is not None and isinstance(sql, str):
+            cached = self.rewrite_cache.get(querier, purpose, sql, snapshot.epoch)
+            if cached is not None:
+                execution = SieveExecution(
+                    result=QueryResult(columns=[], rows=[]),
+                    rewrite=cached.info,
+                    metadata=metadata,
+                    policies_considered=cached.policies_considered,
+                    middleware_ms=(time.perf_counter() - start) * 1000.0,
+                )
+                return execution, cached.rewritten
+
         session = self.session(querier, purpose)
         query = parse_query(sql) if isinstance(sql, str) else sql
-        metadata = QueryMetadata(querier=querier, purpose=purpose)
 
-        protected = self.policy_store.tables_with_policies()
+        protected = snapshot.tables_with_policies()
         targets = sorted(collect_table_names(query) & protected)
 
         expressions: dict[str, GuardedExpression] = {}
@@ -242,7 +312,7 @@ class Sieve:
         policies_considered = 0
 
         for table_name in targets:
-            entry, rebuilt = session.resolve(table_name)
+            entry, rebuilt = session.resolve(table_name, snapshot=snapshot)
             policies_considered += len(entry.policies)
             if entry.expression is None:
                 denied.add(table_name)
@@ -265,6 +335,16 @@ class Sieve:
             expressions[table_name] = expression
 
         rewritten, info = self.rewriter.rewrite(query, expressions, decisions, denied)
+        if self.rewrite_cache is not None and isinstance(sql, str):
+            self.rewrite_cache.put(
+                querier,
+                purpose,
+                sql,
+                snapshot.epoch,
+                rewritten,
+                info,
+                policies_considered,
+            )
         middleware_ms = (time.perf_counter() - start) * 1000.0
         execution = SieveExecution(
             result=QueryResult(columns=[], rows=[]),

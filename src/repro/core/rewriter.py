@@ -384,11 +384,16 @@ class SieveRewriter:
         self, table_name: str, expression: GuardedExpression, decision: StrategyDecision
     ) -> None:
         prefix = f"{expression.querier}|{expression.purpose}|{expression.table}|"
-        self.delta.unregister_prefix(prefix)
-        for i in decision.delta_guards:
-            self.delta.register_guard(
-                expression.guard_key(i), expression.guards[i], table_name
-            )
+        # sync (overwrite-then-prune) rather than unregister-then-
+        # register: concurrent executions of this expression's queries
+        # must never observe a missing guard key.
+        self.delta.sync_prefix(
+            prefix,
+            {
+                expression.guard_key(i): (expression.guards[i], table_name)
+                for i in decision.delta_guards
+            },
+        )
 
     # ------------------------------------------------------ table renaming
 

@@ -19,6 +19,18 @@ shipped to an external execution backend (:mod:`repro.backend`) and
 the rows it returned.  They also carry zero cost weight: the backend
 is a real engine whose cost shows up as wall time, not as bundled
 engine page/CPU charges.
+
+``service_*`` counters track the concurrent serving tier
+(:mod:`repro.service`): admitted/rejected/failed requests, scheduler
+batches, and two accumulated wall-time totals in integer microseconds
+— ``service_queue_wait_us`` (submit → worker pickup) and
+``service_exec_us`` (worker pickup → result).  The time totals are the
+one deliberate exception to the no-wall-clock rule: queueing delay
+*is* the phenomenon the service tier measures, there is no
+deterministic proxy for it, and they carry zero cost weight so
+``cost_units`` stays hardware-independent.  The server updates them
+under its own lock (plain ``+=`` from many workers would lose
+increments).
 """
 
 from __future__ import annotations
@@ -57,6 +69,12 @@ class CounterSet:
     guard_cache_misses: int = 0
     backend_queries: int = 0
     backend_rows: int = 0
+    service_requests: int = 0
+    service_batches: int = 0
+    service_rejections: int = 0
+    service_failures: int = 0
+    service_queue_wait_us: int = 0
+    service_exec_us: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
 
     _COUNTER_NAMES = (
@@ -74,6 +92,12 @@ class CounterSet:
         "guard_cache_misses",
         "backend_queries",
         "backend_rows",
+        "service_requests",
+        "service_batches",
+        "service_rejections",
+        "service_failures",
+        "service_queue_wait_us",
+        "service_exec_us",
     )
 
     def reset(self) -> None:

@@ -20,6 +20,18 @@ session guard cache (:mod:`repro.core.cache`) uses the epoch to
 validate entries and the listeners for targeted invalidation, so the
 corpus is only re-filtered for queriers a mutation can actually
 affect.
+
+Concurrency (the serving tier, :mod:`repro.service`): the store is
+guarded by a writer-preferring :class:`~repro.common.concurrency.RWLock`
+— reads (the PQM filter, snapshots) run concurrently, mutations are
+exclusive, and listeners fire *after* the outermost write hold is
+released (the epoch is already bumped, and a listener may safely
+re-enter the store).  :meth:`PolicyStore.snapshot` returns a cheap
+copy-on-write :class:`PolicySnapshot` memoized per epoch: guard
+generation and the middleware's per-request planning read one
+consistent corpus view even while writers interleave (an ``update`` —
+internally delete + re-insert — can never be observed half-applied
+through a snapshot).
 """
 
 from __future__ import annotations
@@ -27,8 +39,11 @@ from __future__ import annotations
 import itertools
 import json
 from collections import defaultdict
-from typing import Any, Callable, Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.common.concurrency import RWLock
 from repro.common.errors import PolicyError
 from repro.policy.groups import GroupDirectory
 from repro.policy.model import ANY_PURPOSE, DerivedValue, ObjectCondition, Policy
@@ -63,6 +78,48 @@ def _deserialize(tag: str, payload: str) -> Any:
     raise PolicyError(f"unknown value tag {tag!r}")
 
 
+@dataclass(frozen=True)
+class PolicySnapshot:
+    """An immutable, consistent view of the corpus at one epoch.
+
+    Produced by :meth:`PolicyStore.snapshot` under the store's read
+    lock and memoized per epoch, so taking one on the query hot path
+    costs a dict copy only on the first request after a mutation.
+    Policy tuples are shared (policies are immutable), which is what
+    makes the copy-on-write cheap.
+    """
+
+    epoch: int
+    groups: GroupDirectory
+    by_querier: dict[Any, tuple[Policy, ...]]
+    tables: frozenset[str]
+
+    def policies_for(
+        self, querier: Any, purpose: str, table: str | None = None
+    ) -> list[Policy]:
+        """The PQM filter (Section 3.2) over this frozen corpus view."""
+        keys = [querier, *self.groups.groups_of(querier)]
+        seen: set[int] = set()
+        out: list[Policy] = []
+        for key in keys:
+            for policy in self.by_querier.get(key, ()):
+                if policy.id in seen:
+                    continue
+                if purpose != policy.purpose and policy.purpose != ANY_PURPOSE:
+                    continue
+                if table is not None and policy.table.lower() != table.lower():
+                    continue
+                seen.add(policy.id)
+                out.append(policy)
+        return out
+
+    def tables_with_policies(self) -> frozenset[str]:
+        return self.tables
+
+    def __len__(self) -> int:
+        return sum(len(ps) for ps in self.by_querier.values())
+
+
 class PolicyStore:
     """Policies persisted in the database plus a querier-keyed cache."""
 
@@ -74,9 +131,12 @@ class PolicyStore:
         self._rowids: dict[int, tuple[int, list[int]]] = {}  # policy id -> (rP rowid, rOC rowids)
         self._insert_clock = itertools.count(1)
         self._listeners: list[Callable[[Policy], None]] = []
-        self._mutation_listeners: list[Callable[[str, Policy], None]] = []
+        self._mutation_listeners: list[tuple[Callable[..., None], bool]] = []
         self._epoch = 0
         self._tables_memo: tuple[int, frozenset[str]] | None = None
+        self._rwlock = RWLock()
+        self._pending_events: list[tuple[str, Policy]] = []
+        self._snapshot_memo: PolicySnapshot | None = None
         self._install()
 
     def _install(self) -> None:
@@ -123,36 +183,80 @@ class PolicyStore:
         except ValueError:
             pass
 
-    def add_mutation_listener(self, fn: Callable[[str, Policy], None]) -> None:
-        """Called as ``fn(kind, policy)`` after every mutation, where
-        ``kind`` is ``"insert"``, ``"delete"`` or ``"update"``; the
-        epoch is already bumped when listeners fire (cache hooks)."""
-        self._mutation_listeners.append(fn)
+    def add_mutation_listener(
+        self, fn: Callable[..., None], with_epoch: bool = False
+    ) -> None:
+        """Called as ``fn(kind, policy)`` — or ``fn(kind, policy,
+        epoch)`` when registered with ``with_epoch=True`` — after every
+        mutation, where ``kind`` is ``"insert"``, ``"delete"`` or
+        ``"update"``.  ``epoch`` is the corpus version *as of that
+        event*: a single ``update`` crossing queriers/tables queues two
+        events with consecutive epochs, and cache hooks that re-stamp
+        surviving entries need each event's own epoch, not the final
+        one (events are dispatched after the write lock is released, so
+        ``store.epoch`` may already be further along)."""
+        self._mutation_listeners.append((fn, with_epoch))
 
-    def remove_mutation_listener(self, fn: Callable[[str, Policy], None]) -> None:
+    def remove_mutation_listener(self, fn: Callable[..., None]) -> None:
         """Deregister fn; no-op when absent (safe for dead-ref hooks)."""
-        try:
-            self._mutation_listeners.remove(fn)
-        except ValueError:
-            pass
+        for entry in self._mutation_listeners:
+            if entry[0] is fn:
+                self._mutation_listeners.remove(entry)
+                return
 
     @property
     def epoch(self) -> int:
-        """Monotonic corpus version; bumped on every mutation."""
+        """Monotonic corpus version; bumped on every mutation.
+
+        Read without taking the lock: the epoch is a single int whose
+        torn read is impossible under CPython, and every consumer
+        revalidates against it anyway (a stale read just costs one
+        cache miss)."""
         return self._epoch
+
+    @contextmanager
+    def _writing(self) -> "Iterator[None]":
+        """Exclusive mutation scope.  Reentrant (``update`` nests
+        ``insert``); mutation events accumulated by :meth:`_mutated`
+        fire after the *outermost* hold is released, so listeners run
+        on the mutating thread but outside the lock — they may safely
+        re-enter the store or take their own locks without ordering
+        against readers (the lock-cycle this breaks: a guard build
+        holding a cache/store-of-guards lock while reading policies,
+        concurrent with a mutation firing into that same lock)."""
+        self._rwlock.acquire_write()
+        try:
+            yield
+        finally:
+            events: list[tuple[str, Policy, int]] = []
+            if self._rwlock.write_depth() == 1 and self._pending_events:
+                # Still exclusive here, so the swap cannot steal a
+                # later writer's events.
+                events, self._pending_events = self._pending_events, []
+            self._rwlock.release_write()
+            for kind, policy, epoch in events:
+                # Iterate over copies: dead weakref hooks deregister
+                # themselves from inside the callback.
+                for listener in list(self._listeners):
+                    listener(policy)
+                for listener, wants_epoch in list(self._mutation_listeners):
+                    if wants_epoch:
+                        listener(kind, policy, epoch)
+                    else:
+                        listener(kind, policy)
 
     def _mutated(self, kind: str, policy: Policy) -> None:
         self._epoch += 1
         self._tables_memo = None
-        # Iterate over copies: dead weakref hooks deregister themselves
-        # from inside the callback.
-        for listener in list(self._listeners):
-            listener(policy)
-        for listener in list(self._mutation_listeners):
-            listener(kind, policy)
+        self._snapshot_memo = None
+        self._pending_events.append((kind, policy, self._epoch))
 
     def insert(self, policy: Policy, _event_kind: str = "insert") -> Policy:
         """Persist one policy; returns it stamped with an insert time."""
+        with self._writing():
+            return self._insert_locked(policy, _event_kind)
+
+    def _insert_locked(self, policy: Policy, _event_kind: str) -> Policy:
         if policy.id in self._by_id:
             raise PolicyError(f"duplicate policy id {policy.id}")
         stamped = Policy(
@@ -216,15 +320,16 @@ class PolicyStore:
         return count
 
     def delete(self, policy_id: int) -> None:
-        policy = self._by_id.pop(policy_id, None)
-        if policy is None:
-            raise PolicyError(f"unknown policy id {policy_id}")
-        self._by_querier[policy.querier].remove(policy)
-        rp_rowid, oc_rowids = self._rowids.pop(policy_id)
-        self.db.delete_row(POLICY_TABLE, rp_rowid)
-        for rowid in oc_rowids:
-            self.db.delete_row(CONDITION_TABLE, rowid)
-        self._mutated("delete", policy)
+        with self._writing():
+            policy = self._by_id.pop(policy_id, None)
+            if policy is None:
+                raise PolicyError(f"unknown policy id {policy_id}")
+            self._by_querier[policy.querier].remove(policy)
+            rp_rowid, oc_rowids = self._rowids.pop(policy_id)
+            self.db.delete_row(POLICY_TABLE, rp_rowid)
+            for rowid in oc_rowids:
+                self.db.delete_row(CONDITION_TABLE, rowid)
+            self._mutated("delete", policy)
 
     def update(self, policy: Policy) -> Policy:
         """Replace the stored policy with the same id.
@@ -236,90 +341,118 @@ class PolicyStore:
         must invalidate).  The updated policy gets a fresh
         ``ts_inserted_at`` — for Section 6 regeneration accounting an
         update counts as a new arrival."""
-        old = self._by_id.get(policy.id)
-        if old is None:
-            raise PolicyError(f"unknown policy id {policy.id}")
-        # Validate the replacement is persistable BEFORE destroying the
-        # old version — a bad condition value must not lose the policy.
-        for oc in policy.object_conditions:
-            _serialize(oc.value)
-            if oc.op2 is not None:
-                _serialize(oc.value2)
-        del self._by_id[policy.id]
-        self._by_querier[old.querier].remove(old)
-        rp_rowid, oc_rowids = self._rowids.pop(policy.id)
-        self.db.delete_row(POLICY_TABLE, rp_rowid)
-        for rowid in oc_rowids:
-            self.db.delete_row(CONDITION_TABLE, rowid)
-        stamped = self.insert(policy, _event_kind="update")
-        # insert() fired an event for the new version; if the old version
-        # named a different querier/table its caches must also hear.
-        if old.querier != policy.querier or old.table.lower() != policy.table.lower():
-            self._mutated("update", old)
-        return stamped
+        with self._writing():
+            old = self._by_id.get(policy.id)
+            if old is None:
+                raise PolicyError(f"unknown policy id {policy.id}")
+            # Validate the replacement is persistable BEFORE destroying
+            # the old version — a bad condition value must not lose the
+            # policy.
+            for oc in policy.object_conditions:
+                _serialize(oc.value)
+                if oc.op2 is not None:
+                    _serialize(oc.value2)
+            del self._by_id[policy.id]
+            self._by_querier[old.querier].remove(old)
+            rp_rowid, oc_rowids = self._rowids.pop(policy.id)
+            self.db.delete_row(POLICY_TABLE, rp_rowid)
+            for rowid in oc_rowids:
+                self.db.delete_row(CONDITION_TABLE, rowid)
+            stamped = self._insert_locked(policy, _event_kind="update")
+            # The insert queued an event for the new version; if the old
+            # version named a different querier/table its caches must
+            # also hear.  Both events fire only once the update is fully
+            # applied (the write lock is released), so no listener can
+            # observe the half-applied corpus.
+            if old.querier != policy.querier or old.table.lower() != policy.table.lower():
+                self._mutated("update", old)
+            return stamped
 
     # --------------------------------------------------------------- reads
 
     def __len__(self) -> int:
-        return len(self._by_id)
+        with self._rwlock.read_locked():
+            return len(self._by_id)
 
     def get(self, policy_id: int) -> Policy:
-        try:
-            return self._by_id[policy_id]
-        except KeyError:
-            raise PolicyError(f"unknown policy id {policy_id}") from None
+        with self._rwlock.read_locked():
+            try:
+                return self._by_id[policy_id]
+            except KeyError:
+                raise PolicyError(f"unknown policy id {policy_id}") from None
 
     def all_policies(self) -> list[Policy]:
-        return list(self._by_id.values())
+        with self._rwlock.read_locked():
+            return list(self._by_id.values())
 
     def policies_for(
         self, querier: Any, purpose: str, table: str | None = None
     ) -> list[Policy]:
         """The PQM filter (Section 3.2): policies relevant to a query's
         metadata — defined for this querier directly or via any of the
-        querier's groups, with a matching (or 'any') purpose."""
-        groups = self.groups.groups_of(querier)
-        keys = [querier, *groups]
-        seen: set[int] = set()
-        out: list[Policy] = []
-        for key in keys:
-            for policy in self._by_querier.get(key, ()):
-                if policy.id in seen:
-                    continue
-                if purpose != policy.purpose and policy.purpose != ANY_PURPOSE:
-                    continue
-                if table is not None and policy.table.lower() != table.lower():
-                    continue
-                seen.add(policy.id)
-                out.append(policy)
-        return out
+        querier's groups, with a matching (or 'any') purpose.
+
+        Delegates to the per-epoch snapshot so the filter logic exists
+        once (a direct store read and a snapshot-pinned serving-tier
+        read can never disagree) and repeated calls at one epoch reuse
+        the memoized view."""
+        return self.snapshot().policies_for(querier, purpose, table)
 
     def queriers(self) -> list[Any]:
         """All distinct querier values with at least one policy."""
-        return [q for q, ps in self._by_querier.items() if ps]
+        with self._rwlock.read_locked():
+            return [q for q, ps in self._by_querier.items() if ps]
 
     def tables_with_policies(self) -> frozenset[str]:
         """Relations named by at least one policy, memoized per epoch
         (the middleware consults this on every query).  Frozen: the
         memoized set is shared across callers, so mutating it would
         corrupt every later query at the same epoch."""
-        memo = self._tables_memo
-        if memo is not None and memo[0] == self._epoch:
-            return memo[1]
-        tables = frozenset(p.table.lower() for p in self._by_id.values())
-        self._tables_memo = (self._epoch, tables)
-        return tables
+        with self._rwlock.read_locked():
+            memo = self._tables_memo
+            if memo is not None and memo[0] == self._epoch:
+                return memo[1]
+            tables = frozenset(p.table.lower() for p in self._by_id.values())
+            self._tables_memo = (self._epoch, tables)
+            return tables
+
+    def snapshot(self) -> PolicySnapshot:
+        """A consistent copy-on-write view of the corpus at the current
+        epoch, memoized until the next mutation.
+
+        The hot path (one call per served request) therefore costs a
+        read-locked attribute check; only the first request after a
+        mutation pays the dict copy.  Concurrent first-requests may
+        each build a snapshot — they are identical, and the last memo
+        write wins harmlessly."""
+        with self._rwlock.read_locked():
+            memo = self._snapshot_memo
+            if memo is not None and memo.epoch == self._epoch:
+                return memo
+            snap = PolicySnapshot(
+                epoch=self._epoch,
+                groups=self.groups,
+                by_querier={q: tuple(ps) for q, ps in self._by_querier.items() if ps},
+                tables=frozenset(p.table.lower() for p in self._by_id.values()),
+            )
+            self._snapshot_memo = snap
+            return snap
 
     # ------------------------------------------------------------ reload
 
     def reload_from_database(self) -> int:
         """Rebuild the cache from the rP/rOC tables (crash-recovery path,
         exercised by tests to prove persistence round-trips)."""
+        with self._rwlock.write_locked():
+            return self._reload_locked()
+
+    def _reload_locked(self) -> int:
         self._by_id.clear()
         self._by_querier.clear()
         self._rowids.clear()
         self._epoch += 1  # wholesale reload: all cached corpus views are stale
         self._tables_memo = None
+        self._snapshot_memo = None
         conditions: dict[int, list[tuple[int, ObjectCondition]]] = defaultdict(list)
         cond_rowids: dict[int, list[int]] = defaultdict(list)
         cond_table = self.db.catalog.table(CONDITION_TABLE)

@@ -1,0 +1,41 @@
+"""The concurrent serving tier: many sessions, one Sieve pipeline.
+
+``repro/service`` is the layer that turns the single-call middleware
+into a server: :class:`SieveServer` owns one
+:class:`~repro.core.middleware.Sieve` and serves concurrent client
+sessions through a worker pool fed by a bounded, batching
+:class:`AdmissionQueue`.  Requests are admitted (or rejected with
+:class:`~repro.common.errors.ServiceOverloadedError` under
+backpressure), grouped by (querier, purpose), executed against a
+consistent policy snapshot through the process-wide guard cache, and
+resolved via futures with per-request latency + queue-wait
+accounting.  See ``docs/ARCHITECTURE.md`` ("Service tier") for the
+request lifecycle and :mod:`repro.bench.loadgen` for the closed-loop
+load generator that drives it.
+"""
+
+from repro.common.errors import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+)
+from repro.service.admission import AdmissionQueue, Batch, ServiceRequest
+from repro.service.server import (
+    LatencySummary,
+    ServiceStats,
+    SieveServer,
+    percentile,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Batch",
+    "LatencySummary",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceRequest",
+    "ServiceStats",
+    "ServiceStoppedError",
+    "SieveServer",
+    "percentile",
+]

@@ -1,0 +1,198 @@
+"""Admission control for the serving tier: a bounded, batching queue.
+
+The scheduler's unit of work is not a single request but a **batch**:
+all queued requests sharing one ``(querier, purpose)`` — the paper's
+QM pair (Section 3.1), which is exactly the granularity the guard
+cache amortizes over.  Handing a worker the whole batch means one
+:meth:`SieveSession.execute <repro.core.cache.SieveSession>` context
+serves N requests, and — just as important for the bundled engine —
+**no two workers ever run the same (querier, purpose) at once**: a
+key is marked in flight while its batch executes, so per-key state
+downstream (Δ partition registration at rewrite time) is naturally
+serialized without a global lock.
+
+Three properties, all enforced here:
+
+* **bounded** — at most ``max_pending`` requests may be queued;
+  :meth:`AdmissionQueue.submit` raises
+  :class:`~repro.common.errors.ServiceOverloadedError` beyond that
+  (backpressure, surfaced to clients instead of unbounded memory
+  growth and collapsing latency).
+* **batched** — a worker takes up to ``max_batch`` same-key requests
+  in arrival order.  The cap bounds how long one key can monopolize a
+  worker.
+* **fair** — keys are served FIFO by *earliest waiting request*:
+  a chatty querier cannot starve a quiet one, because after its batch
+  completes the key re-queues at the back.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ServiceOverloadedError, ServiceStoppedError
+
+#: A scheduling key: one (querier, purpose) metadata context.
+SessionKey = tuple[Any, str]
+
+
+@dataclass
+class ServiceRequest:
+    """One admitted query plus its completion future and timestamps."""
+
+    sql: Any  # str | Query
+    querier: Any
+    purpose: str
+    future: "Future[Any]" = field(default_factory=Future)
+    #: perf_counter() at admission; the worker stamps pickup/finish so
+    #: the server can split latency into queue-wait and service time.
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: True when the caller asked for the full SieveExecution rather
+    #: than the bare QueryResult.
+    with_info: bool = False
+
+    @property
+    def key(self) -> SessionKey:
+        return (self.querier, self.purpose)
+
+    @property
+    def queue_wait_s(self) -> float:
+        return max(0.0, self.started_at - self.submitted_at)
+
+    @property
+    def service_s(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+
+@dataclass
+class Batch:
+    """Same-key requests handed to one worker as a unit."""
+
+    key: SessionKey
+    requests: list[ServiceRequest]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class AdmissionQueue:
+    """Bounded, per-key-batching, fair FIFO request queue.
+
+    Thread-safe; one condition variable guards all state.  Producers
+    call :meth:`submit`, workers loop :meth:`take` →
+    :meth:`complete`.  :meth:`close` wakes every waiting worker; with
+    ``drain=True`` workers keep taking until the queue is empty, with
+    ``drain=False`` the remaining requests fail with
+    :class:`~repro.common.errors.ServiceStoppedError`.
+    """
+
+    def __init__(self, max_pending: int = 1024, max_batch: int = 16):
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self._cond = threading.Condition()
+        self._by_key: "OrderedDict[SessionKey, deque[ServiceRequest]]" = OrderedDict()
+        self._in_flight: set[SessionKey] = set()
+        self._pending = 0
+        self._closed = False
+        self._draining = False
+
+    # ------------------------------------------------------------ producers
+
+    def submit(self, request: ServiceRequest) -> None:
+        """Admit one request or raise (overloaded / stopped)."""
+        with self._cond:
+            if self._closed:
+                raise ServiceStoppedError("server is not accepting requests")
+            if self._pending >= self.max_pending:
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self.max_pending} pending requests)"
+                )
+            bucket = self._by_key.get(request.key)
+            if bucket is None:
+                bucket = self._by_key[request.key] = deque()
+            bucket.append(request)
+            self._pending += 1
+            self._cond.notify()
+
+    # -------------------------------------------------------------- workers
+
+    def take(self) -> Batch | None:
+        """Block until a batch is available; ``None`` means shut down.
+
+        Returns up to ``max_batch`` requests of the oldest *ready* key
+        — one whose earliest request has waited longest and which no
+        other worker is currently serving — and marks the key in
+        flight until :meth:`complete`.
+        """
+        with self._cond:
+            while True:
+                key = self._next_ready_key()
+                if key is not None:
+                    bucket = self._by_key[key]
+                    take_n = min(len(bucket), self.max_batch)
+                    requests = [bucket.popleft() for _ in range(take_n)]
+                    if not bucket:
+                        del self._by_key[key]
+                    self._pending -= take_n
+                    self._in_flight.add(key)
+                    return Batch(key=key, requests=requests)
+                if self._closed and (not self._draining or self._pending == 0):
+                    return None
+                self._cond.wait()
+
+    def _next_ready_key(self) -> SessionKey | None:
+        # OrderedDict preserves first-request arrival order per key;
+        # complete() re-inserting a still-pending key at the end is
+        # what makes scheduling round-robin fair across keys.
+        for key in self._by_key:
+            if key not in self._in_flight:
+                return key
+        return None
+
+    def complete(self, key: SessionKey) -> None:
+        """Mark a batch done; re-arms the key if more requests queued."""
+        with self._cond:
+            self._in_flight.discard(key)
+            bucket = self._by_key.get(key)
+            if bucket is not None:
+                # Move to the back: freshly re-armed keys queue behind
+                # everyone already waiting.
+                self._by_key.move_to_end(key)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------- shutdown
+
+    def close(self, drain: bool = True) -> list[ServiceRequest]:
+        """Stop admitting; returns the requests that will *not* run
+        (empty when draining)."""
+        with self._cond:
+            self._closed = True
+            self._draining = drain
+            abandoned: list[ServiceRequest] = []
+            if not drain:
+                for bucket in self._by_key.values():
+                    abandoned.extend(bucket)
+                self._by_key.clear()
+                self._pending = 0
+            self._cond.notify_all()
+            return abandoned
+
+    # ---------------------------------------------------------- introspection
+
+    def pending(self) -> int:
+        with self._cond:
+            return self._pending
+
+    def depth_by_key(self) -> dict[SessionKey, int]:
+        with self._cond:
+            return {key: len(bucket) for key, bucket in self._by_key.items()}

@@ -1,0 +1,365 @@
+"""SieveServer — one Sieve pipeline serving many concurrent sessions.
+
+The paper positions Sieve as *middleware* in front of a DBMS serving
+"a large number of queries" from many queriers (Section 1); this
+module is the tier that actually accepts that traffic.  One
+:class:`SieveServer` owns one :class:`~repro.core.middleware.Sieve`
+and runs a fixed pool of worker threads over a bounded
+:class:`~repro.service.admission.AdmissionQueue`:
+
+.. code-block:: text
+
+    submit(sql, querier, purpose)          # → Future, or
+    execute(sql, querier, purpose)         # → blocking convenience
+        │  admit (bounded queue; ServiceOverloadedError = backpressure)
+        ▼
+    AdmissionQueue — batch same-(querier, purpose), serialize per key
+        │  worker pickup (queue-wait recorded)
+        ▼
+    Sieve pipeline — policy snapshot → shared guard cache (single-
+        flight) → strategy → rewrite → execute (bundled engine or a
+        Backend with per-thread connections)
+        │
+        ▼
+    Future resolved; latency split into queue-wait + service time
+        (``service_*`` counters and :meth:`SieveServer.stats`)
+
+What each layer buys under concurrency:
+
+* the **policy snapshot** gives every request one consistent corpus
+  view while policy writers run concurrently;
+* the **shared guard cache** means N queriers' warm state is one
+  process-wide LRU, and single-flight collapses N concurrent cold
+  misses of one key into one guard generation;
+* **batching** serves all queued requests of one (querier, purpose) in
+  one session context and guarantees no two workers concurrently
+  rewrite the same key (Δ partition registration stays per-key
+  serial);
+* the **bounded queue** turns overload into fast, explicit
+  :class:`~repro.common.errors.ServiceOverloadedError` rejections
+  instead of unbounded latency.
+
+Throughput scales with workers only as far as the engine allows: the
+bundled pure-Python engine serializes on the GIL (workers buy
+concurrency, not parallelism), while a real backend such as
+:class:`~repro.backend.SqliteBackend` releases the GIL during
+execution — ``benchmarks/bench_service_throughput.py`` measures
+exactly this contrast.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.common.errors import ServiceOverloadedError, ServiceStoppedError
+from repro.core.middleware import Sieve
+from repro.service.admission import AdmissionQueue, Batch, ServiceRequest
+
+DEFAULT_WORKERS = 4
+DEFAULT_MAX_PENDING = 1024
+DEFAULT_MAX_BATCH = 16
+#: Bound on retained latency samples (old samples age out FIFO).
+DEFAULT_SAMPLE_CAPACITY = 100_000
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation; 0.0 when
+    empty.  Small-n friendly — benches quote p99 of a few thousand
+    requests, not of millions."""
+    if not values:
+        return 0.0
+    # Already-ascending input (the common caller sorts once for all
+    # three quantiles) skips the re-sort.
+    ordered = list(values)
+    if any(a > b for a, b in zip(ordered, ordered[1:])):
+        ordered.sort()
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class LatencySummary:
+    """Percentiles of one latency population, in milliseconds."""
+
+    count: int = 0
+    mean_ms: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @classmethod
+    def of_seconds(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls()
+        ms = sorted(s * 1000.0 for s in samples)  # sort once for all quantiles
+        return cls(
+            count=len(ms),
+            mean_ms=sum(ms) / len(ms),
+            p50_ms=percentile(ms, 50),
+            p95_ms=percentile(ms, 95),
+            p99_ms=percentile(ms, 99),
+        )
+
+
+@dataclass
+class ServiceStats:
+    """One consistent snapshot of a server's accounting."""
+
+    workers: int
+    pending: int
+    requests: int
+    batches: int
+    rejections: int
+    failures: int
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    queue_wait: LatencySummary = field(default_factory=LatencySummary)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class SieveServer:
+    """A thread-pooled, batching front end over one Sieve pipeline.
+
+    Usage::
+
+        server = SieveServer(sieve, workers=4)
+        with server:                        # start()/stop(drain=True)
+            future = server.submit(sql, querier="Prof.Smith",
+                                   purpose="analytics")
+            rows = future.result().rows
+            # or blocking:
+            result = server.execute(sql, "Prof.Smith", "analytics")
+        print(server.stats().latency.p95_ms)
+
+    ``submit`` raises
+    :class:`~repro.common.errors.ServiceOverloadedError` when the
+    bounded admission queue is full and
+    :class:`~repro.common.errors.ServiceStoppedError` when the server
+    is not running.  Results and *failures* both travel through the
+    returned future: a query that raises inside the pipeline resolves
+    its future with that exception, never taking down the worker.
+    """
+
+    def __init__(
+        self,
+        sieve: Sieve,
+        workers: int = DEFAULT_WORKERS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
+        rewrite_cache_capacity: int = 256,
+    ):
+        if workers <= 0:
+            raise ValueError("worker count must be positive")
+        self.sieve = sieve
+        if rewrite_cache_capacity:
+            # Serving implies repeated traffic: memoize whole rewrites
+            # (epoch-validated) so the warm path is admission + execute.
+            sieve.enable_rewrite_cache(rewrite_cache_capacity)
+        self.workers = workers
+        self._queue = AdmissionQueue(max_pending=max_pending, max_batch=max_batch)
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        self._requests = 0
+        self._batches = 0
+        self._rejections = 0
+        self._failures = 0
+        self._latency_s: "deque[float]" = deque(maxlen=sample_capacity)
+        self._queue_wait_s: "deque[float]" = deque(maxlen=sample_capacity)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "SieveServer":
+        with self._lock:
+            if self._stopped:
+                raise ServiceStoppedError("a stopped server cannot be restarted")
+            if self._started:
+                return self
+            self._started = True
+            for i in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"sieve-worker-{i}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work; with ``drain`` (default) workers finish
+        every queued request first, otherwise queued requests fail with
+        :class:`~repro.common.errors.ServiceStoppedError`."""
+        with self._lock:
+            self._stopped = True
+        abandoned = self._queue.close(drain=drain)
+        for request in abandoned:
+            request.future.set_exception(
+                ServiceStoppedError("server stopped before the request ran")
+            )
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "SieveServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop(drain=True)
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._started and not self._stopped
+
+    # ------------------------------------------------------------ admission
+
+    def submit(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+        """Enqueue one query; the future resolves to its
+        :class:`~repro.engine.executor.QueryResult`."""
+        return self._admit(sql, querier, purpose, with_info=False)
+
+    def submit_with_info(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+        """Like :meth:`submit` but resolving to the full
+        :class:`~repro.core.middleware.SieveExecution` bookkeeping."""
+        return self._admit(sql, querier, purpose, with_info=True)
+
+    def _admit(self, sql: Any, querier: Any, purpose: str, with_info: bool) -> "Future[Any]":
+        if not self.running:
+            raise ServiceStoppedError("server is not running (call start())")
+        request = ServiceRequest(
+            sql=sql,
+            querier=querier,
+            purpose=purpose,
+            submitted_at=time.perf_counter(),
+            with_info=with_info,
+        )
+        try:
+            self._queue.submit(request)
+        except ServiceOverloadedError:
+            # Only genuine backpressure counts as a rejection; a
+            # stop()/submit race surfaces as ServiceStoppedError and
+            # propagates uncounted.
+            with self._lock:
+                self._rejections += 1
+                self.sieve.db.counters.service_rejections += 1
+            raise
+        return request.future
+
+    def execute(
+        self, sql: Any, querier: Any, purpose: str, timeout: float | None = None
+    ) -> Any:
+        """Blocking convenience: submit and wait for the result."""
+        return self.submit(sql, querier, purpose).result(timeout=timeout)
+
+    def execute_many(
+        self,
+        sqls: Iterable[Any],
+        querier: Any,
+        purpose: str,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Submit a batch for one (querier, purpose) and wait for all.
+
+        All requests share the scheduling key, so the pool serves them
+        as admission-queue batches through one warm session context.
+        """
+        futures = [self.submit(sql, querier, purpose) for sql in sqls]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # --------------------------------------------------------------- workers
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._queue.take()
+            if batch is None:
+                return
+            try:
+                self._serve_batch(batch)
+            finally:
+                self._queue.complete(batch.key)
+
+    def _serve_batch(self, batch: Batch) -> None:
+        querier, purpose = batch.key
+        # One session context per batch: the first request warms the
+        # (querier, purpose, relation) guard state, the rest ride it.
+        session = self.sieve.session(querier, purpose)
+        served_any = False
+        for request in batch.requests:
+            request.started_at = time.perf_counter()
+            if not request.future.set_running_or_notify_cancel():
+                # Cancelled while queued: not served, so it joins
+                # neither the request counters nor the latency samples
+                # (``stats().requests`` counts *served* work).
+                continue
+            served_any = True
+            failed = False
+            try:
+                if request.with_info:
+                    result: Any = session.execute_with_info(request.sql)
+                else:
+                    result = session.execute(request.sql)
+            except BaseException as exc:  # resolve, never kill the worker
+                failed = True
+                request.finished_at = time.perf_counter()
+                request.future.set_exception(exc)
+            else:
+                request.finished_at = time.perf_counter()
+                request.future.set_result(result)
+            self._record(request, failed=failed)
+        if not served_any:
+            return  # an all-cancelled batch must not skew batch stats
+        counters = self.sieve.db.counters
+        with self._lock:
+            self._batches += 1
+            counters.service_batches += 1
+
+    def _record(self, request: ServiceRequest, failed: bool) -> None:
+        counters = self.sieve.db.counters
+        with self._lock:
+            self._requests += 1
+            if failed:
+                self._failures += 1
+                counters.service_failures += 1
+            self._latency_s.append(request.service_s)
+            self._queue_wait_s.append(request.queue_wait_s)
+            counters.service_requests += 1
+            counters.service_queue_wait_us += int(request.queue_wait_s * 1_000_000)
+            counters.service_exec_us += int(request.service_s * 1_000_000)
+
+    # ----------------------------------------------------------- accounting
+
+    def stats(self) -> ServiceStats:
+        # Snapshot under the lock, summarize (sorts!) outside it —
+        # workers must never stall in _record() behind a monitoring
+        # poll sorting 100k samples.
+        with self._lock:
+            latency_s = list(self._latency_s)
+            queue_wait_s = list(self._queue_wait_s)
+            requests = self._requests
+            batches = self._batches
+            rejections = self._rejections
+            failures = self._failures
+        return ServiceStats(
+            workers=self.workers,
+            pending=self._queue.pending(),
+            requests=requests,
+            batches=batches,
+            rejections=rejections,
+            failures=failures,
+            latency=LatencySummary.of_seconds(latency_s),
+            queue_wait=LatencySummary.of_seconds(queue_wait_s),
+        )

@@ -257,3 +257,143 @@ class TestPolicyStore:
         store.insert(simple_policy(querier="b"))
         assert set(store.queriers()) == {"a", "b"}
         assert store.tables_with_policies() == {"wifi"}
+
+
+class TestPolicyStoreEpochAndListeners:
+    """Epoch/listener semantics under interleaved insert/update/delete
+    — the contract the guard and rewrite caches validate against."""
+
+    def make_store(self):
+        db = connect()
+        return PolicyStore(db, GroupDirectory()), db
+
+    def test_epoch_monotonic_across_interleaved_mutations(self):
+        store, _ = self.make_store()
+        seen = [store.epoch]
+        a = store.insert(simple_policy(querier="a"))
+        seen.append(store.epoch)
+        b = store.insert(simple_policy(querier="b"))
+        seen.append(store.epoch)
+        store.update(a)  # same querier/table: one event, >= 1 bump
+        seen.append(store.epoch)
+        store.delete(b.id)
+        seen.append(store.epoch)
+        store.update(simple_policy(querier="c", id=a.id))  # crosses queriers
+        seen.append(store.epoch)
+        assert all(x < y for x, y in zip(seen, seen[1:])), seen
+
+    def test_update_across_queriers_fires_both_corpus_views(self):
+        store, _ = self.make_store()
+        events = []
+        p = store.insert(simple_policy(querier="a"))
+        store.add_mutation_listener(lambda kind, pol: events.append((kind, pol.querier)))
+        store.update(simple_policy(querier="b", id=p.id))
+        assert ("update", "b") in events  # the new version
+        assert ("update", "a") in events  # the old view must invalidate too
+
+    def test_listeners_fire_with_epoch_already_bumped(self):
+        store, _ = self.make_store()
+        observed = []
+        store.add_mutation_listener(lambda kind, pol: observed.append(store.epoch))
+        before = store.epoch
+        store.insert(simple_policy())
+        assert observed == [before + 1]
+
+    def test_remove_listener_during_dispatch_neither_skips_nor_raises(self):
+        store, _ = self.make_store()
+        calls = []
+
+        def self_removing(policy):
+            calls.append("self_removing")
+            store.remove_listener(self_removing)
+
+        def steady(policy):
+            calls.append("steady")
+
+        store.add_listener(self_removing)
+        store.add_listener(steady)
+        store.insert(simple_policy(owner=1))
+        assert calls == ["self_removing", "steady"]  # nothing skipped
+        store.insert(simple_policy(owner=2))
+        assert calls == ["self_removing", "steady", "steady"]  # deregistered
+
+    def test_remove_mutation_listener_during_dispatch(self):
+        store, _ = self.make_store()
+        calls = []
+
+        def once(kind, policy):
+            calls.append(kind)
+            store.remove_mutation_listener(once)
+
+        store.add_mutation_listener(once)
+        store.insert(simple_policy(owner=1))
+        store.insert(simple_policy(owner=2))
+        assert calls == ["insert"]
+
+    def test_remove_absent_listener_is_noop(self):
+        store, _ = self.make_store()
+        store.remove_listener(lambda p: None)
+        store.remove_mutation_listener(lambda k, p: None)
+
+    def test_reload_bumps_epoch_exactly_once_and_fires_no_events(self):
+        store, _ = self.make_store()
+        store.insert(simple_policy(owner=1))
+        store.insert(simple_policy(owner=2))
+        events = []
+        store.add_mutation_listener(lambda kind, pol: events.append(kind))
+        before = store.epoch
+        store.reload_from_database()
+        assert store.epoch == before + 1
+        assert events == []
+
+    def test_failed_update_keeps_old_policy_and_epoch(self):
+        store, _ = self.make_store()
+        p = store.insert(simple_policy())
+        before = store.epoch
+
+        class Unserializable:
+            pass
+
+        bad = simple_policy(
+            id=p.id,
+            object_conditions=(ObjectCondition("owner", "=", Unserializable()),),
+        )
+        with pytest.raises(PolicyError):
+            store.update(bad)
+        assert store.get(p.id) is p
+        assert store.epoch == before
+
+
+class TestPolicySnapshot:
+    """Copy-on-write corpus views (the serving tier's consistency unit)."""
+
+    def make_store(self):
+        db = connect()
+        groups = GroupDirectory()
+        groups.add_members("faculty", ["prof"])
+        return PolicyStore(db, groups), db
+
+    def test_snapshot_memoized_per_epoch(self):
+        store, _ = self.make_store()
+        store.insert(simple_policy())
+        snap = store.snapshot()
+        assert store.snapshot() is snap  # same epoch -> same object
+        store.insert(simple_policy(owner=2))
+        fresh = store.snapshot()
+        assert fresh is not snap
+        assert fresh.epoch == snap.epoch + 1
+
+    def test_snapshot_matches_live_filter_and_is_frozen_in_time(self):
+        store, _ = self.make_store()
+        store.insert(simple_policy(querier="faculty"))
+        p2 = store.insert(simple_policy(querier="other"))
+        snap = store.snapshot()
+        assert [p.id for p in snap.policies_for("prof", "analytics", "wifi")] == [
+            p.id for p in store.policies_for("prof", "analytics", "wifi")
+        ]
+        assert snap.tables_with_policies() == store.tables_with_policies()
+        assert len(snap) == 2
+        store.delete(p2.id)
+        # The old view still sees the deleted policy; the store doesn't.
+        assert len(snap.policies_for("other", "analytics", "wifi")) == 1
+        assert len(store.policies_for("other", "analytics", "wifi")) == 0

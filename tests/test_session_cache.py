@@ -375,3 +375,42 @@ class TestGuardCacheUnit:
         assert stats.hit_rate == pytest.approx(0.75)
         assert CacheStats().hit_rate == 0.0
         assert "hit_rate" in stats.snapshot()
+
+    def test_get_at_older_epoch_keeps_fresher_entry(self):
+        """A request pinned to an old policy snapshot must miss without
+        evicting state a concurrent mutation already carried forward —
+        and must not clobber it on put() either (churn otherwise makes
+        every in-flight key rebuild twice per mutation)."""
+        cache = GuardCache(capacity=8)
+        fresh = cache.put("q", "p", "t", epoch=5, policies=[], expression=None)
+        assert cache.get("q", "p", "t", epoch=4) is None  # pinned behind
+        assert cache.peek("q", "p", "t") is fresh  # ...but not evicted
+        stale = cache.put("q", "p", "t", epoch=4, policies=[], expression=None)
+        assert stale.epoch == 4  # the pinned caller gets its own view
+        assert cache.peek("q", "p", "t") is fresh  # ...without clobbering
+        assert cache.get("q", "p", "t", epoch=5) is fresh
+
+    def test_cross_querier_update_keeps_unrelated_entries_warm(self):
+        """An update() that moves a policy to another querier bumps the
+        epoch twice (two events); unrelated queriers' entries must be
+        carried across BOTH bumps, not stranded one epoch short."""
+        db, _rows, store, sieve = build_world(extra_queriers=("aud",))
+        session_prof = sieve.session("prof", "analytics")
+        session_prof.execute(QUERIES[0])  # warm 'prof'
+        moved = store.policies_for("aud", "analytics", "wifi")[0]
+        store.update(
+            Policy(
+                owner=moved.owner,
+                querier="aud2",
+                purpose=moved.purpose,
+                table=moved.table,
+                object_conditions=moved.object_conditions,
+                id=moved.id,
+            )
+        )
+        hits_before = db.counters.guard_cache_hits
+        session_prof.execute(QUERIES[0])
+        assert db.counters.guard_cache_hits == hits_before + 1, (
+            "unrelated querier lost its warm guard state across a "
+            "cross-querier update"
+        )
