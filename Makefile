@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend bench-service docs-check
+.PHONY: test bench-smoke bench bench-backend bench-engine bench-service docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -19,6 +19,11 @@ bench-smoke:
 # The real-DBMS tier: Sieve vs the no-guard baseline, both on SQLite.
 bench-backend:
 	$(PYTHON) -m pytest benchmarks/bench_backend_sqlite.py -q --benchmark-only
+
+# The execution tier: tuple-at-a-time vs vectorized on the Fig. 6
+# guarded workload; asserts >= 3x and writes repo-root BENCH_engine.json.
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine_vectorized.py -q --benchmark-only
 
 # The serving tier: closed-loop throughput/latency vs worker and
 # querier count on the bundled engine and the SQLite backend; asserts

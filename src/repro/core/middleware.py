@@ -34,11 +34,16 @@ explicit per-querier handle with batched ``execute_many``; the plain
 Relations where the querier holds no applicable policies come back
 empty (opt-out default-deny, Section 3.1).
 
-Pass ``backend=`` (a :class:`repro.backend.Backend`, e.g.
-``SqliteBackend().ship(db)``) to execute the rewritten queries on a
-real DBMS instead of the bundled engine — the rewrite is printed in
-the backend's SQL dialect and shipped there, mirroring how the paper's
-Experiments 4-5 run Sieve's output on actual MySQL/PostgreSQL servers.
+Without a backend, the rewrite runs on the bundled engine's
+vectorized batch executor (:mod:`repro.engine.vector`) — the
+database's default mode — falling back tuple-at-a-time per plan
+subtree where batching does not apply; ``SieveExecution.engine``
+records the serving tier/mode.  Pass ``backend=`` (a
+:class:`repro.backend.Backend`, e.g. ``SqliteBackend().ship(db)``) to
+execute the rewritten queries on a real DBMS instead — the rewrite is
+printed in the backend's SQL dialect and shipped there, mirroring how
+the paper's Experiments 4-5 run Sieve's output on actual
+MySQL/PostgreSQL servers.
 
 See ``docs/ARCHITECTURE.md`` for the end-to-end dataflow.
 """
@@ -96,6 +101,12 @@ class SieveExecution:
     regenerated_tables: list[str] = field(default_factory=list)
     middleware_ms: float = 0.0
     execution_ms: float = 0.0
+    #: Which execution tier served the query: ``"backend"`` (external
+    #: DBMS) or the bundled engine's configured mode — ``"vectorized"``
+    #: / ``"tuple"``.  For the bundled engine this reports the
+    #: database-wide mode; individual plan subtrees may still have run
+    #: tuple-at-a-time via the per-node fallback rules.
+    engine: str = ""
 
 
 class Sieve:
@@ -375,6 +386,7 @@ class Sieve:
             start = time.perf_counter()
             execution.result = self.backend.execute(execution.rewrite.sql)
             execution.execution_ms = (time.perf_counter() - start) * 1000.0
+            execution.engine = "backend"
             counters = self.db.counters
             counters.backend_queries += 1
             counters.backend_rows += len(execution.result.rows)
@@ -382,6 +394,9 @@ class Sieve:
             start = time.perf_counter()
             execution.result = self.db.execute(rewritten)
             execution.execution_ms = (time.perf_counter() - start) * 1000.0
+            execution.engine = (
+                "vectorized" if getattr(self.db, "vectorized", False) else "tuple"
+            )
         return execution
 
     def rewritten_sql(self, sql: str | Query, querier: Any, purpose: str) -> str:

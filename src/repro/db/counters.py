@@ -14,6 +14,15 @@ cache (:mod:`repro.core.cache`); they carry zero cost weight — cache
 bookkeeping is not an engine cost — but let benches assert hit rates
 deterministically.
 
+``batches`` counts row batches formed by the vectorized executor's
+scan nodes, and ``expr_cache_hits`` / ``expr_cache_misses`` track the
+Database's compiled-expression cache (:mod:`repro.expr.codegen`).
+All three carry zero cost weight — batching and compilation caching
+are engine mechanics, not simulated I/O or per-tuple work, and the
+per-tuple counters (``tuples_scanned``, ``predicate_evals``,
+``policy_evals``) are charged identically by both executors so
+``cost_units`` stays execution-mode independent.
+
 ``backend_queries`` / ``backend_rows`` count rewritten statements
 shipped to an external execution backend (:mod:`repro.backend`) and
 the rows it returned.  They also carry zero cost weight: the backend
@@ -67,6 +76,9 @@ class CounterSet:
     udf_policy_evals: int = 0
     guard_cache_hits: int = 0
     guard_cache_misses: int = 0
+    batches: int = 0
+    expr_cache_hits: int = 0
+    expr_cache_misses: int = 0
     backend_queries: int = 0
     backend_rows: int = 0
     service_requests: int = 0
@@ -90,6 +102,9 @@ class CounterSet:
         "udf_policy_evals",
         "guard_cache_hits",
         "guard_cache_misses",
+        "batches",
+        "expr_cache_hits",
+        "expr_cache_misses",
         "backend_queries",
         "backend_rows",
         "service_requests",

@@ -21,6 +21,8 @@ from repro.db.counters import CounterSet
 from repro.db.personality import MYSQL, Personality, personality_by_name
 from repro.engine.executor import Executor, QueryResult
 from repro.engine.plans import PlanNode
+from repro.engine.vector import VectorizedExecutor
+from repro.expr.codegen import CompiledExprCache
 from repro.optimizer.explain import ExplainNode, TableAccess, access_summary, explain_plan
 from repro.optimizer.planner import PlannedQuery, Planner
 from repro.optimizer.stats import StatsCatalog, TableStats
@@ -45,12 +47,27 @@ from repro.storage.table import DEFAULT_PAGE_SIZE, HeapTable
 class Database:
     """An embedded relational database with a pluggable personality."""
 
-    def __init__(self, personality: Personality = MYSQL, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        personality: Personality = MYSQL,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        vectorized: bool = True,
+        codegen: bool = True,
+    ):
         self.personality = personality
         self.page_size = page_size
         self.catalog = Catalog()
         self.stats = StatsCatalog()
         self.counters = CounterSet()
+        # Engine mode: ``vectorized`` routes queries through the batch
+        # executor (exotic nodes still fall back per subtree) and
+        # ``codegen`` compiles expressions to generated source instead
+        # of closure trees.  Both default on; turn both off to get the
+        # original tuple-at-a-time interpreter — the differential
+        # oracle and the benchmarks' baseline.
+        self.vectorized = vectorized
+        self.codegen = codegen
+        self._fn_cache = CompiledExprCache()
         self._udfs: dict[str, Callable[..., Any]] = {}
 
     # ------------------------------------------------------------------ DDL
@@ -102,6 +119,9 @@ class Database:
             return fn(*args)
 
         self._udfs[name.lower()] = counted
+        # Compiled expressions bind UDF callables at compile time;
+        # (re-)registering a name must drop them.
+        self._fn_cache.clear()
 
     def has_function(self, name: str) -> bool:
         return name.lower() in self._udfs
@@ -117,6 +137,7 @@ class Database:
 
     def drop_function(self, name: str) -> None:
         self._udfs.pop(name.lower(), None)
+        self._fn_cache.clear()
 
     # ---------------------------------------------------------------- query
 
@@ -144,11 +165,28 @@ class Database:
                 return self._execute_statement(statement)
             query = statement
         planned = self.plan(query)
-        executor = Executor(
+        return self.run_plan(planned)
+
+    def run_plan(
+        self,
+        planned: PlannedQuery,
+        vectorized: bool | None = None,
+        codegen: bool | None = None,
+    ) -> QueryResult:
+        """Execute an already-planned query, optionally overriding the
+        engine mode (``None`` keeps the database default) — the hook
+        the engine benchmarks use to time tuple vs vectorized
+        execution of one plan without re-planning."""
+        use_vectorized = self.vectorized if vectorized is None else vectorized
+        use_codegen = self.codegen if codegen is None else codegen
+        executor_cls = VectorizedExecutor if use_vectorized else Executor
+        executor = executor_cls(
             self.catalog,
             self.counters,
             self._udfs,
             plan_subquery=self._plan_subquery,
+            fn_cache=self._fn_cache,
+            use_codegen=use_codegen,
         )
         return executor.run(planned.root, planned.cte_plans)
 
@@ -265,8 +303,21 @@ class Database:
         self.counters.reset()
 
 
-def connect(personality: str | Personality = "mysql", page_size: int = DEFAULT_PAGE_SIZE) -> Database:
-    """Create a fresh in-memory database with the given personality."""
+def connect(
+    personality: str | Personality = "mysql",
+    page_size: int = DEFAULT_PAGE_SIZE,
+    vectorized: bool = True,
+    codegen: bool = True,
+) -> Database:
+    """Create a fresh in-memory database with the given personality.
+
+    ``vectorized=False, codegen=False`` selects the original
+    tuple-at-a-time closure interpreter (the differential oracle)."""
     if isinstance(personality, str):
         personality = personality_by_name(personality)
-    return Database(personality=personality, page_size=page_size)
+    return Database(
+        personality=personality,
+        page_size=page_size,
+        vectorized=vectorized,
+        codegen=codegen,
+    )

@@ -10,12 +10,14 @@ is meant to amortise the policy check (paper Section 5.3, footnote 8).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import ExecutionError, PlanError
 from repro.db.counters import CounterSet
-from repro.expr.analysis import columns_referenced
+from repro.expr.analysis import columns_referenced, contains_subquery
+from repro.expr.codegen import CodegenExprCompiler, CompiledExprCache
 from repro.expr.eval import ExprCompiler, RowBinding
 from repro.expr.nodes import (
     And,
@@ -95,11 +97,18 @@ class Executor:
         counters: CounterSet,
         udfs: dict[str, Callable[..., Any]],
         plan_subquery: Callable[[Any], PlanNode] | None = None,
+        fn_cache: CompiledExprCache | None = None,
+        use_codegen: bool = True,
     ):
         self.catalog = catalog
         self.counters = counters
         self.udfs = udfs
         self.plan_subquery = plan_subquery
+        # Cross-execution cache of compiled predicate/projection
+        # callables (owned by the Database facade); executors come and
+        # go per query, compiled expressions should not.
+        self.fn_cache = fn_cache
+        self.use_codegen = use_codegen
         self._cte_rows: dict[str, list[tuple]] = {}
         self._in_subquery_cache: dict[int, frozenset] = {}
         self._scalar_cache: dict[tuple, Any] = {}
@@ -123,7 +132,8 @@ class Executor:
         return method(plan)
 
     def _compiler(self, binding: RowBinding) -> ExprCompiler:
-        return ExprCompiler(
+        compiler_cls = CodegenExprCompiler if self.use_codegen else ExprCompiler
+        return compiler_cls(
             binding,
             udfs=self.udfs,
             subquery_fn=self._make_scalar_subquery_fn(binding),
@@ -131,10 +141,28 @@ class Executor:
             counters=self.counters,
         )
 
+    def _row_fn(self, expr: Expr, binding: RowBinding):
+        """Compile one expression to a row callable, reusing the shared
+        compiled-function cache across executions.
+
+        Expressions containing subqueries are compiled fresh every
+        time: IN memberships are data dependent and scalar subqueries
+        capture this executor's plan/caches."""
+        cache = self.fn_cache
+        if cache is None:
+            return self._compiler(binding).compile(expr)
+        extra = (binding.cache_key(), "row", self.use_codegen)
+        fn = cache.lookup(expr, extra, self.counters)
+        if fn is None:
+            fn = self._compiler(binding).compile(expr)
+            if not contains_subquery(expr):
+                cache.store(expr, extra, fn)
+        return fn
+
     def _compile_filter(self, expr: Expr | None, binding: RowBinding):
         if expr is None:
             return None
-        return self._compiler(binding).compile(expr)
+        return self._row_fn(expr, binding)
 
     # ------------------------------------------------------------- scans
 
@@ -199,8 +227,11 @@ class Executor:
         bitmap = RowIdBitmap()
         for index_name, _column, probes in plan.arms:
             index = self.catalog.index_by_name(plan.table_name, index_name)
-            for rowid in self._probe_rowids(index, probes):
-                bitmap.add(rowid)
+            # One bitmap per arm, OR-ed in a single big-int op (per-rowid
+            # add would re-allocate the accumulated bitmap every bit).
+            bitmap = bitmap | RowIdBitmap.from_rowids(
+                self._probe_rowids(index, probes)
+            )
         counters.pages_bitmap += len(bitmap.pages(table.page_size))
         pred = self._compile_filter(plan.filter, plan.binding)
         for rowid in bitmap.iter_sorted():
@@ -242,7 +273,7 @@ class Executor:
 
     def _exec_FilterPlan(self, plan: FilterPlan) -> Iterator[tuple]:
         assert plan.child is not None and plan.expr is not None
-        pred = self._compiler(plan.child.binding).compile(plan.expr)
+        pred = self._row_fn(plan.expr, plan.child.binding)
         counters = self.counters
         for row in self._iter(plan.child):
             counters.predicate_evals += 1
@@ -251,12 +282,10 @@ class Executor:
 
     def _exec_ProjectPlan(self, plan: ProjectPlan) -> Iterator[tuple]:
         if plan.child is None:
-            compiler = self._compiler(RowBinding())
-            fns = [compiler.compile(e) for e in plan.exprs]
+            fns = [self._row_fn(e, RowBinding()) for e in plan.exprs]
             yield tuple(fn(()) for fn in fns)
             return
-        compiler = self._compiler(plan.child.binding)
-        fns = [compiler.compile(e) for e in plan.exprs]
+        fns = [self._row_fn(e, plan.child.binding) for e in plan.exprs]
         for row in self._iter(plan.child):
             yield tuple(fn(row) for fn in fns)
 
@@ -264,10 +293,8 @@ class Executor:
 
     def _exec_HashJoinPlan(self, plan: HashJoinPlan) -> Iterator[tuple]:
         assert plan.left is not None and plan.right is not None
-        left_compiler = self._compiler(plan.left.binding)
-        right_compiler = self._compiler(plan.right.binding)
-        left_key_fns = [left_compiler.compile(k) for k in plan.left_keys]
-        right_key_fns = [right_compiler.compile(k) for k in plan.right_keys]
+        left_key_fns = [self._row_fn(k, plan.left.binding) for k in plan.left_keys]
+        right_key_fns = [self._row_fn(k, plan.right.binding) for k in plan.right_keys]
         residual = self._compile_filter(plan.residual, plan.binding)
 
         table: dict[tuple, list[tuple]] = {}
@@ -309,7 +336,7 @@ class Executor:
         assert plan.left is not None and plan.outer_key is not None
         table = self.catalog.table(plan.inner_table)
         index = self.catalog.index_by_name(plan.inner_table, plan.inner_index)
-        outer_fn = self._compiler(plan.left.binding).compile(plan.outer_key)
+        outer_fn = self._row_fn(plan.outer_key, plan.left.binding)
         inner_binding = RowBinding.for_table(plan.inner_alias, table.schema.names)
         inner_pred = self._compile_filter(plan.inner_filter, inner_binding)
         residual = self._compile_filter(plan.residual, plan.binding)
@@ -347,10 +374,10 @@ class Executor:
 
     def _exec_AggregatePlan(self, plan: AggregatePlan) -> Iterator[tuple]:
         assert plan.child is not None
-        compiler = self._compiler(plan.child.binding)
-        group_fns = [compiler.compile(e) for e in plan.group_exprs]
+        binding = plan.child.binding
+        group_fns = [self._row_fn(e, binding) for e in plan.group_exprs]
         arg_fns = [
-            compiler.compile(spec.arg) if spec.arg is not None else None
+            self._row_fn(spec.arg, binding) if spec.arg is not None else None
             for spec in plan.aggregates
         ]
         groups: dict[tuple, list[_AggState]] = {}
@@ -374,8 +401,7 @@ class Executor:
 
     def _exec_SortPlan(self, plan: SortPlan) -> Iterator[tuple]:
         assert plan.child is not None
-        compiler = self._compiler(plan.child.binding)
-        fns = [compiler.compile(e) for e in plan.sort_exprs]
+        fns = [self._row_fn(e, plan.child.binding) for e in plan.sort_exprs]
         rows = list(self._iter(plan.child))
         # Stable multi-key sort: apply keys from least to most significant.
         for fn, asc in reversed(list(zip(fns, plan.ascending))):
@@ -387,7 +413,33 @@ class Executor:
         remaining = plan.limit
         if remaining <= 0:
             return
-        for row in self._iter(plan.child):
+        child = plan.child
+        if isinstance(child, SortPlan) and child.child is not None:
+            # Fused top-k: a LIMIT directly above a Sort keeps a heap of
+            # the best `limit` rows instead of fully sorting the input.
+            # Equivalent to the unfused pair: one stable sort on the
+            # composite direction-aware key equals the multi-pass stable
+            # sorts, and nsmallest's index tiebreaker keeps stability.
+            fns = [self._row_fn(e, child.child.binding) for e in child.sort_exprs]
+            ascending = child.ascending
+
+            def key_of(row: tuple) -> tuple:
+                return tuple(
+                    _sort_key(fn(row)) if asc else _ReverseKey(_sort_key(fn(row)))
+                    for fn, asc in zip(fns, ascending)
+                )
+
+            best = heapq.nsmallest(
+                remaining,
+                (
+                    (key_of(row), i, row)
+                    for i, row in enumerate(self._iter(child.child))
+                ),
+            )
+            for _key, _i, row in best:
+                yield row
+            return
+        for row in self._iter(child):
             yield row
             remaining -= 1
             if remaining == 0:
@@ -533,6 +585,22 @@ def _sort_key(value: Any) -> tuple:
     return (1, type(value).__name__, value)
 
 
+class _ReverseKey:
+    """Inverts ordering of a wrapped sort key (DESC members of the
+    composite top-k key, shared by both executors)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReverseKey) and other.key == self.key
+
+
 class _AggState:
     """Incremental state for one aggregate computation."""
 
@@ -550,7 +618,10 @@ class _AggState:
         if arg_fn is None:  # COUNT(*)
             self.count += 1
             return
-        value = arg_fn(row)
+        self.update_value(arg_fn(row))
+
+    def update_value(self, value: Any) -> None:
+        """Fold one already-computed argument value (batch path)."""
         if value is None:
             return
         if self.distinct is not None:

@@ -1,0 +1,676 @@
+"""Vectorized batch execution (the engine's hot path).
+
+The tuple-at-a-time executor walks every row through a chain of Python
+generators and closure trees; at Sieve's scale (guarded scans checking
+hundreds of policy disjuncts per tuple) interpreter dispatch dwarfs
+the actual work.  This module replaces it with batch execution:
+
+* :class:`RowBatch` — a batch of tuples with lazily transposed
+  per-column arrays and a *selection* (surviving row indices, also
+  exposable as a :class:`~repro.index.bitmap.RowIdBitmap`).  Operators
+  exchange batches, so per-node overhead is paid once per ~thousand
+  rows instead of once per row.
+* :class:`BatchPredicate` — a filter compiled into conjunct *stages*.
+  Plain conjuncts become column-mode codegen kernels (one call filters
+  the whole selection); a policy-style wide OR becomes a
+  **guard-by-guard** stage: each disjunct's kernel runs over the
+  still-unmatched selection, its hits are OR-ed into a
+  ``RowIdBitmap``, and ``counters.policy_evals`` is charged
+  ``len(remaining)`` per disjunct — the batch equivalent of the
+  closure compiler's short-circuit metering, tick-for-tick identical
+  to the tuple path (see ``docs/ARCHITECTURE.md``, "Vectorized
+  engine").  Conjuncts that embed nested metered ORs or scalar
+  subqueries run per-row through the row compiler so metering and
+  correlation semantics are preserved exactly.
+* :class:`VectorizedExecutor` — an :class:`~repro.engine.executor.Executor`
+  subclass executing SeqScan / IndexScan / BitmapOr / CTEScan /
+  DerivedScan / Filter / Project / HashJoin / Aggregate / Distinct /
+  Sort / Limit over batches.  Exotic nodes (NLJoin, IndexNLJoin, set
+  ops, correlated subqueries) fall back to the inherited
+  tuple-at-a-time methods per subtree, with their output re-chunked
+  into batches — the planner marks capability per node
+  (``PlanNode.batchable``), so mixing is free.
+
+Counter semantics in batch mode: ``tuples_scanned``, page counters,
+``predicate_evals`` (one per input row per filter) and
+``policy_evals`` are charged in the same per-row amounts as the tuple
+path — the differential suite asserts equality on real workloads.
+``counters.batches`` additionally counts scan batches formed (zero
+cost weight).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import ExecutionError
+from repro.expr.analysis import conjuncts, contains_subquery
+from repro.expr.codegen import (
+    CodegenExprCompiler,
+    CodegenUnsupported,
+    contains_scalar_subquery,
+    is_metered_or,
+)
+from repro.expr.eval import RowBinding
+from repro.expr.nodes import Expr, Or
+from repro.engine.executor import (
+    Executor,
+    QueryResult,
+    _AggState,
+    _ReverseKey,
+    _sort_key,
+)
+from repro.engine.plans import (
+    AggregatePlan,
+    BitmapOrPlan,
+    CTEScanPlan,
+    DerivedScanPlan,
+    DistinctPlan,
+    FilterPlan,
+    HashJoinPlan,
+    IndexScanPlan,
+    LimitPlan,
+    PlanNode,
+    ProjectPlan,
+    SeqScanPlan,
+    SortPlan,
+)
+from repro.index.bitmap import RowIdBitmap
+
+#: Sequential scans form one batch per this many heap pages (aligned to
+#: page boundaries so page accounting stays exact).
+BATCH_PAGES = 8
+
+#: Row-count granularity for batches not tied to the page structure
+#: (CTE scans, bitmap heap fetches, fallback re-chunking).
+BATCH_ROWS = 1024
+
+
+class RowBatch:
+    """A batch of row tuples plus a selection of surviving indices.
+
+    ``sel`` is ``None`` for "all rows" or an ascending index list;
+    :meth:`selection_bitmap` exposes it as a :class:`RowIdBitmap` for
+    bitmap algebra.  ``columns()`` lazily transposes the *full* batch
+    (a single C-level ``zip``); kernels then index columns by selected
+    position, so narrowing a selection never copies row data.
+    """
+
+    __slots__ = ("rows", "sel", "_cols")
+
+    def __init__(self, rows: list[tuple], sel: list[int] | None = None):
+        self.rows = rows
+        self.sel = sel
+        self._cols: list | None = None
+
+    def columns(self) -> list:
+        if self._cols is None:
+            self._cols = list(zip(*self.rows)) if self.rows else []
+        return self._cols
+
+    def indices(self) -> list[int]:
+        return self.sel if self.sel is not None else list(range(len(self.rows)))
+
+    def selection_bitmap(self) -> RowIdBitmap:
+        return RowIdBitmap.from_rowids(self.indices())
+
+    def narrow(self, sel: list[int]) -> "RowBatch":
+        """The same rows under a narrower selection — shares the column
+        transposition, so pipelined operators never re-run ``zip``."""
+        narrowed = RowBatch(self.rows, sel)
+        narrowed._cols = self._cols
+        return narrowed
+
+    def take(self) -> list[tuple]:
+        """The selected rows, in order."""
+        if self.sel is None:
+            return self.rows
+        rows = self.rows
+        return [rows[i] for i in self.sel]
+
+
+# Stage evaluators all share one shape: fn(batch, sel) -> passing indices.
+_StageFn = Callable[[RowBatch, list], list]
+
+
+class BatchPredicate:
+    """A filter expression compiled into ordered conjunct stages.
+
+    Stage order is the flattened conjunct order — the order the
+    closure compiler's ``all()`` would evaluate them — so rows reach a
+    guard stage exactly when the tuple path would have reached the
+    wide OR, keeping ``policy_evals`` identical.  Every stage is a
+    ``fn(batch, sel) -> narrowed sel``; guard (metered OR) stages and
+    composed disjunct pipelines are closures over sub-stages.
+    """
+
+    __slots__ = ("stages", "counters")
+
+    def __init__(self, stages: list[_StageFn], counters: Any):
+        self.stages = stages
+        self.counters = counters
+
+    def apply(self, batch: RowBatch, sel: list) -> list:
+        """Filter ``sel``; charges ``predicate_evals`` once per input
+        row (the tuple path's one tick per row per filter)."""
+        self.counters.predicate_evals += len(sel)
+        for stage in self.stages:
+            if not sel:
+                break
+            sel = stage(batch, sel)
+        return sel
+
+
+def _guard_stage(disjunct_fns: list[_StageFn], counters: Any) -> _StageFn:
+    """Guard-by-guard evaluation of one wide (metered) OR over a batch.
+
+    Each disjunct produces a selection bitmap OR-ed into the
+    accumulator; rows already matched leave the remaining set, so a
+    disjunct is charged — one ``policy_evals`` tick per row — exactly
+    for the rows that would still be checking it under tuple-at-a-time
+    short-circuiting.
+    """
+
+    def stage(batch: RowBatch, sel: list) -> list:
+        remaining = sel
+        matched: list = []
+        for fn in disjunct_fns:
+            if not remaining:
+                break
+            counters.policy_evals += len(remaining)
+            hits = fn(batch, remaining)
+            if hits:
+                matched.extend(hits)
+                # Narrow via a per-disjunct hash set: bitmap membership
+                # would cost one big-int shift per probe (quadratic in
+                # the batch size).
+                hit_set = set(hits)
+                remaining = [i for i in remaining if i not in hit_set]
+        # The OR of the per-disjunct selections: hits are disjoint by
+        # construction (matched rows leave `remaining`), so the union
+        # is a sort-merge of the hit lists — equivalent to OR-ing
+        # per-disjunct RowIdBitmaps but without paying big-int bit
+        # iteration to read the result back out.
+        matched.sort()
+        return matched
+
+    return stage
+
+
+
+
+def top_k_rows(rows: list[tuple], keys: list, limit: int) -> list[tuple]:
+    """First ``limit`` rows of the stable composite sort — via a heap,
+    never materializing the full ordering.  ``keys[i]`` is row ``i``'s
+    composite key (DESC members wrapped in :class:`_ReverseKey`); the
+    index tiebreaker reproduces stable-sort semantics exactly."""
+    best = heapq.nsmallest(limit, ((keys[i], i) for i in range(len(rows))))
+    return [rows[i] for _key, i in best]
+
+
+class VectorizedExecutor(Executor):
+    """Batch executor; inherits the tuple path as per-node fallback."""
+
+    # ------------------------------------------------------------ plumbing
+
+    def run(self, root: PlanNode, cte_plans: dict[str, PlanNode]) -> QueryResult:
+        self._cte_rows = {}
+        for name, plan in cte_plans.items():
+            self._cte_rows[name] = self._collect_rows(plan)
+        rows = self._collect_rows(root)
+        self.counters.tuples_output += len(rows)
+        return QueryResult(columns=root.binding.column_names, rows=rows)
+
+    def _collect_rows(self, plan: PlanNode) -> list[tuple]:
+        out: list[tuple] = []
+        for batch in self._batches(plan):
+            out.extend(batch.take())
+        return out
+
+    def _iter(self, plan: PlanNode) -> Iterator[tuple]:
+        """Row iteration for inherited tuple-mode parents: batchable
+        subtrees still execute vectorized underneath them."""
+        if self._has_vexec(plan):
+            return self._flatten(plan)
+        return super()._iter(plan)
+
+    def _flatten(self, plan: PlanNode) -> Iterator[tuple]:
+        for batch in self._batches(plan):
+            yield from batch.take()
+
+    def _has_vexec(self, plan: PlanNode) -> bool:
+        return plan.batchable and hasattr(self, f"_vexec_{type(plan).__name__}")
+
+    def _batches(self, plan: PlanNode) -> Iterator[RowBatch]:
+        if self._has_vexec(plan):
+            return getattr(self, f"_vexec_{type(plan).__name__}")(plan)
+        return self._fallback_batches(plan)
+
+    def _fallback_batches(self, plan: PlanNode) -> Iterator[RowBatch]:
+        """Chunk a tuple-at-a-time subtree's rows into batches."""
+        buf: list[tuple] = []
+        for row in super()._iter(plan):
+            buf.append(row)
+            if len(buf) >= BATCH_ROWS:
+                yield RowBatch(buf)
+                buf = []
+        if buf:
+            yield RowBatch(buf)
+
+    # --------------------------------------------------- kernel compilation
+
+    def _codegen(self, binding: RowBinding) -> CodegenExprCompiler:
+        return CodegenExprCompiler(
+            binding,
+            udfs=self.udfs,
+            subquery_fn=self._make_scalar_subquery_fn(binding),
+            in_subquery_fn=self._eval_in_subquery,
+            counters=self.counters,
+        )
+
+    def _needs_row_path(self, expr: Expr) -> bool:
+        return not self.use_codegen or contains_scalar_subquery(expr)
+
+    def _row_stage(self, expr: Expr, binding: RowBinding) -> _StageFn:
+        fn = self._row_fn(expr, binding)
+
+        def stage(batch: RowBatch, sel: list, _fn=fn) -> list:
+            rows = batch.rows
+            return [i for i in sel if _fn(rows[i])]
+
+        return stage
+
+    def _col_stage(self, expr: Expr, binding: RowBinding) -> _StageFn:
+        """A column-mode predicate kernel; falls back to the row path
+        for trees column mode cannot express."""
+        if self._needs_row_path(expr):
+            return self._row_stage(expr, binding)
+
+        def build() -> _StageFn:
+            try:
+                kernel = self._codegen(binding).compile_batch_predicate(expr)
+            except (CodegenUnsupported, SyntaxError):
+                return self._row_stage(expr, binding)
+
+            def stage(batch: RowBatch, sel: list, _k=kernel) -> list:
+                return _k(batch.columns(), sel)
+
+            return stage
+
+        return self._cached(expr, binding, "colpred", build)
+
+    def _value_fn(self, expr: Expr, binding: RowBinding) -> Callable[[RowBatch, list], list]:
+        """Batch value computation: ``fn(batch, sel) -> values``."""
+        if self._needs_row_path(expr):
+            fn = self._row_fn(expr, binding)
+
+            def values(batch: RowBatch, sel: list, _fn=fn) -> list:
+                rows = batch.rows
+                return [_fn(rows[i]) for i in sel]
+
+            return values
+
+        def build() -> Callable[[RowBatch, list], list]:
+            try:
+                kernel = self._codegen(binding).compile_batch_values(expr)
+            except (CodegenUnsupported, SyntaxError):
+                fn = self._row_fn(expr, binding)
+                return lambda batch, sel, _fn=fn: [_fn(batch.rows[i]) for i in sel]
+
+            def values(batch: RowBatch, sel: list, _k=kernel) -> list:
+                return _k(batch.columns(), sel)
+
+            return values
+
+        return self._cached(expr, binding, "colval", build)
+
+    def _cached(self, expr: Expr, binding: RowBinding, mode: str, build: Callable):
+        cache = self.fn_cache
+        if cache is None:
+            return build()
+        extra = (binding.cache_key(), mode, self.use_codegen)
+        fn = cache.lookup(expr, extra, self.counters)
+        if fn is None:
+            fn = build()
+            if not contains_subquery(expr):
+                cache.store(expr, extra, fn)
+        return fn
+
+    def _conjunct_stage(self, conj: Expr, binding: RowBinding) -> _StageFn:
+        """One conjunct as a stage.
+
+        A metered (policy-style) OR becomes a guard stage: on the
+        codegen path a single fused loop kernel
+        (:meth:`~repro.expr.codegen.CodegenExprCompiler.compile_batch_guard`
+        — zero per-row Python calls), otherwise the guard-by-guard
+        bitmap driver over per-disjunct row functions.  Everything
+        else runs as one comprehension kernel, or per row when column
+        mode can't express it (scalar subqueries, codegen off)."""
+        if is_metered_or(conj, self.counters):
+            assert isinstance(conj, Or)
+            if not self._needs_row_path(conj):
+                stage = self._guard_kernel_stage(conj, binding)
+                if stage is not None:
+                    return stage
+            disjunct_fns = [self._row_stage(d, binding) for d in conj.children]
+            return _guard_stage(disjunct_fns, self.counters)
+        if self._needs_row_path(conj):
+            return self._row_stage(conj, binding)
+        return self._col_stage(conj, binding)
+
+    def _guard_kernel_stage(self, conj: Or, binding: RowBinding) -> _StageFn | None:
+        try:
+            kernel = self._codegen(binding).compile_batch_guard(conj)
+        except (CodegenUnsupported, SyntaxError):
+            return None
+
+        def stage(batch: RowBatch, sel: list, _k=kernel) -> list:
+            return _k(batch.columns(), sel)
+
+        return stage
+
+    def _batch_pred(self, expr: Expr | None, binding: RowBinding) -> BatchPredicate | None:
+        if expr is None:
+            return None
+
+        def build() -> BatchPredicate:
+            stages = [self._conjunct_stage(c, binding) for c in conjuncts(expr)]
+            return BatchPredicate(stages, self.counters)
+
+        return self._cached(expr, binding, "batchpred", build)
+
+    # --------------------------------------------------------------- scans
+
+    def _vexec_SeqScanPlan(self, plan: SeqScanPlan) -> Iterator[RowBatch]:
+        table = self.catalog.table(plan.table_name)
+        pred = self._batch_pred(plan.filter, plan.binding)
+        counters = self.counters
+        page_size = table.page_size
+        for rowids, rows in table.scan_batches(page_size * BATCH_PAGES):
+            if not rows:
+                continue
+            pages = 0
+            last = -1
+            for rid in rowids:
+                page = rid // page_size
+                if page != last:
+                    pages += 1
+                    last = page
+            counters.pages_sequential += pages
+            counters.tuples_scanned += len(rows)
+            counters.batches += 1
+            batch = RowBatch(rows)
+            if pred is not None:
+                sel = pred.apply(batch, batch.indices())
+                if not sel:
+                    continue
+                batch.sel = sel
+            yield batch
+
+    def _fetched_batches(
+        self, plan, table, rowid_iter: Iterator[int], random_pages: bool
+    ) -> Iterator[RowBatch]:
+        """Shared heap-fetch path for index and bitmap scans: fetch in
+        the given rowid order, charge per-row counters identically to
+        the tuple path, filter batch-wise."""
+        pred = self._batch_pred(plan.filter, plan.binding)
+        counters = self.counters
+        page_size = table.page_size
+        pages_touched: set[int] = set()  # per-scan buffer-pool model
+        pending: list[int] = []
+
+        def flush(rowids: list[int]) -> RowBatch | None:
+            pairs = table.get_many(rowids)
+            if not pairs:
+                return None
+            if random_pages:
+                for rid, _row in pairs:
+                    page = rid // page_size
+                    if page not in pages_touched:
+                        pages_touched.add(page)
+                        counters.pages_random += 1
+            rows = [row for _rid, row in pairs]
+            counters.tuples_scanned += len(rows)
+            counters.batches += 1
+            batch = RowBatch(rows)
+            if pred is not None:
+                sel = pred.apply(batch, batch.indices())
+                if not sel:
+                    return None
+                batch.sel = sel
+            return batch
+
+        for rowid in rowid_iter:
+            pending.append(rowid)
+            if len(pending) >= BATCH_ROWS:
+                batch = flush(pending)
+                pending = []
+                if batch is not None:
+                    yield batch
+        if pending:
+            batch = flush(pending)
+            if batch is not None:
+                yield batch
+
+    def _vexec_IndexScanPlan(self, plan: IndexScanPlan) -> Iterator[RowBatch]:
+        table = self.catalog.table(plan.table_name)
+        index = self.catalog.index_by_name(plan.table_name, plan.index_name)
+        seen: set[int] = set()
+
+        def deduped() -> Iterator[int]:
+            for rowid in self._probe_rowids(index, plan.probes):
+                if rowid not in seen:
+                    seen.add(rowid)
+                    yield rowid
+
+        yield from self._fetched_batches(plan, table, deduped(), random_pages=True)
+
+    def _vexec_BitmapOrPlan(self, plan: BitmapOrPlan) -> Iterator[RowBatch]:
+        table = self.catalog.table(plan.table_name)
+        bitmap = RowIdBitmap()
+        for index_name, _column, probes in plan.arms:
+            index = self.catalog.index_by_name(plan.table_name, index_name)
+            bitmap = bitmap | RowIdBitmap.from_rowids(
+                self._probe_rowids(index, probes)
+            )
+        self.counters.pages_bitmap += len(bitmap.pages(table.page_size))
+        yield from self._fetched_batches(
+            plan, table, bitmap.iter_sorted(), random_pages=False
+        )
+
+    def _vexec_CTEScanPlan(self, plan: CTEScanPlan) -> Iterator[RowBatch]:
+        key = plan.cte_name.lower()
+        if key not in self._cte_rows:
+            raise ExecutionError(f"CTE {plan.cte_name!r} was not materialised")
+        pred = self._batch_pred(plan.filter, plan.binding)
+        counters = self.counters
+        source = self._cte_rows[key]
+        for start in range(0, len(source), BATCH_ROWS):
+            rows = source[start : start + BATCH_ROWS]
+            counters.tuples_scanned += len(rows)
+            counters.batches += 1
+            batch = RowBatch(rows)
+            if pred is not None:
+                sel = pred.apply(batch, batch.indices())
+                if not sel:
+                    continue
+                batch.sel = sel
+            yield batch
+
+    def _vexec_DerivedScanPlan(self, plan: DerivedScanPlan) -> Iterator[RowBatch]:
+        assert plan.child is not None
+        pred = self._batch_pred(plan.filter, plan.binding)
+        for batch in self._batches(plan.child):
+            if pred is not None:
+                sel = pred.apply(batch, batch.indices())
+                if not sel:
+                    continue
+                batch = batch.narrow(sel)
+            yield batch
+
+    # ----------------------------------------------------- filter / project
+
+    def _vexec_FilterPlan(self, plan: FilterPlan) -> Iterator[RowBatch]:
+        assert plan.child is not None and plan.expr is not None
+        pred = self._batch_pred(plan.expr, plan.child.binding)
+        for batch in self._batches(plan.child):
+            sel = pred.apply(batch, batch.indices())
+            if sel:
+                yield batch.narrow(sel)
+
+    def _vexec_ProjectPlan(self, plan: ProjectPlan) -> Iterator[RowBatch]:
+        assert plan.child is not None
+        fns = [self._value_fn(e, plan.child.binding) for e in plan.exprs]
+        for batch in self._batches(plan.child):
+            sel = batch.indices()
+            if not sel:
+                continue
+            yield RowBatch(list(zip(*[fn(batch, sel) for fn in fns])))
+
+    # ------------------------------------------------------------- joins
+
+    def _vexec_HashJoinPlan(self, plan: HashJoinPlan) -> Iterator[RowBatch]:
+        assert plan.left is not None and plan.right is not None
+        left_key_fns = [self._value_fn(k, plan.left.binding) for k in plan.left_keys]
+        right_key_fns = [self._value_fn(k, plan.right.binding) for k in plan.right_keys]
+        residual = self._batch_pred(plan.residual, plan.binding)
+
+        table: dict[tuple, list[tuple]] = {}
+        for batch in self._batches(plan.right):
+            sel = batch.indices()
+            if not sel:
+                continue
+            key_cols = [fn(batch, sel) for fn in right_key_fns]
+            rows = batch.rows
+            for pos, key in zip(sel, zip(*key_cols)):
+                if any(k is None for k in key):
+                    continue
+                table.setdefault(key, []).append(rows[pos])
+
+        for batch in self._batches(plan.left):
+            sel = batch.indices()
+            if not sel:
+                continue
+            key_cols = [fn(batch, sel) for fn in left_key_fns]
+            rows = batch.rows
+            combined: list[tuple] = []
+            for pos, key in zip(sel, zip(*key_cols)):
+                bucket = table.get(key)
+                if not bucket:
+                    continue
+                lrow = rows[pos]
+                for rrow in bucket:
+                    combined.append(lrow + rrow)
+            if not combined:
+                continue
+            out = RowBatch(combined)
+            if residual is not None:
+                keep = residual.apply(out, out.indices())
+                if not keep:
+                    continue
+                out.sel = keep
+            yield out
+
+    # ---------------------------------------------------------- aggregation
+
+    def _vexec_AggregatePlan(self, plan: AggregatePlan) -> Iterator[RowBatch]:
+        assert plan.child is not None
+        binding = plan.child.binding
+        group_fns = [self._value_fn(e, binding) for e in plan.group_exprs]
+        arg_fns = [
+            self._value_fn(spec.arg, binding) if spec.arg is not None else None
+            for spec in plan.aggregates
+        ]
+        groups: dict[tuple, list[_AggState]] = {}
+        for batch in self._batches(plan.child):
+            sel = batch.indices()
+            if not sel:
+                continue
+            key_cols = [fn(batch, sel) for fn in group_fns]
+            keys = (
+                list(zip(*key_cols)) if key_cols else [()] * len(sel)
+            )
+            arg_cols = [
+                fn(batch, sel) if fn is not None else None for fn in arg_fns
+            ]
+            for k, key in enumerate(keys):
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(spec) for spec in plan.aggregates]
+                    groups[key] = states
+                for state, col in zip(states, arg_cols):
+                    if col is None:  # COUNT(*)
+                        state.count += 1
+                    else:
+                        state.update_value(col[k])
+        if not groups and not plan.group_exprs:
+            yield RowBatch(
+                [tuple(s.result() for s in (_AggState(sp) for sp in plan.aggregates))]
+            )
+            return
+        rows = [
+            key + tuple(s.result() for s in states) for key, states in groups.items()
+        ]
+        for start in range(0, len(rows), BATCH_ROWS):
+            yield RowBatch(rows[start : start + BATCH_ROWS])
+
+    # ------------------------------------------------- ordering and limits
+
+    def _composite_keys(self, plan: SortPlan, rows: list[tuple]) -> list:
+        """Per-row composite sort keys (DESC members reverse-wrapped);
+        one stable sort on these equals the tuple path's multi-pass
+        stable sorts."""
+        assert plan.child is not None
+        batch = RowBatch(rows)
+        sel = batch.indices()
+        cols = []
+        for expr, asc in zip(plan.sort_exprs, plan.ascending):
+            values = self._value_fn(expr, plan.child.binding)(batch, sel)
+            if asc:
+                cols.append([_sort_key(v) for v in values])
+            else:
+                cols.append([_ReverseKey(_sort_key(v)) for v in values])
+        return list(zip(*cols))
+
+    def _vexec_SortPlan(self, plan: SortPlan) -> Iterator[RowBatch]:
+        assert plan.child is not None
+        rows = self._collect_rows(plan.child)
+        if not rows:
+            return
+        keys = self._composite_keys(plan, rows)
+        order = sorted(range(len(rows)), key=keys.__getitem__)
+        ordered = [rows[i] for i in order]
+        for start in range(0, len(ordered), BATCH_ROWS):
+            yield RowBatch(ordered[start : start + BATCH_ROWS])
+
+    def _vexec_LimitPlan(self, plan: LimitPlan) -> Iterator[RowBatch]:
+        # The planner only marks Sort+Limit pairs batchable: a bare
+        # LIMIT terminates its child mid-stream, which cannot keep
+        # batch-charged scan counters identical to the tuple oracle
+        # (annotate_batch_capability forces those subtrees tuple-wise).
+        child = plan.child
+        if not isinstance(child, SortPlan) or child.child is None:
+            raise ExecutionError(
+                "bare LIMIT reached the batch executor; planner annotation broken"
+            )
+        if plan.limit <= 0:
+            return
+        # Fused top-k: never fully sort what a LIMIT will discard.
+        rows = self._collect_rows(child.child)
+        if not rows:
+            return
+        keys = self._composite_keys(child, rows)
+        yield RowBatch(top_k_rows(rows, keys, plan.limit))
+
+    def _vexec_DistinctPlan(self, plan: DistinctPlan) -> Iterator[RowBatch]:
+        assert plan.child is not None
+        seen: set[tuple] = set()
+        for batch in self._batches(plan.child):
+            out: list[tuple] = []
+            for row in batch.take():
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            if out:
+                yield RowBatch(out)

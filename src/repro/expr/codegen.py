@@ -1,0 +1,518 @@
+"""Expression codegen: Expr trees compiled to single Python functions.
+
+The closure compiler in :mod:`repro.expr.eval` builds a *tree* of
+nested lambdas — evaluating ``a = 1 AND b < 5`` costs five Python
+frames per row.  This module instead renders the whole tree into one
+Python source function and ``compile()``s it, so a row evaluation is
+one call whose body is plain inline bytecode.  Semantics (two-valued
+NULL logic, short-circuiting, metered policy ORs) are identical to the
+closure compiler by construction: every construct is generated from
+the same rules, and the differential/property tests assert value and
+counter equality.  Any tree the generator cannot render falls back to
+the closure compiler, so codegen is always total.
+
+Two compilation modes exist:
+
+* **row mode** (:meth:`CodegenExprCompiler.compile`) — ``fn(row)``
+  over one tuple, a drop-in for ``ExprCompiler.compile``.  Wide ORs
+  (policy-style disjunctions, width >= ``METERED_OR_WIDTH``) become
+  flat helper functions that tick ``counters.policy_evals`` per
+  disjunct actually evaluated, exactly like the closure compiler's
+  metered OR.
+* **column mode** (:meth:`compile_batch_predicate` /
+  :meth:`compile_batch_values` / :meth:`compile_batch_guard`) — batch
+  kernels ``fn(columns, selection) -> indices/values`` for the
+  vectorized executor: one call evaluates the expression over a whole
+  :class:`~repro.engine.vector.RowBatch` via a list comprehension (or,
+  for a top-level policy OR, a fused metering loop) with the
+  expression inlined.  Nested metered ORs compile to kernel-local
+  per-index helpers so ``policy_evals`` accounting survives inside
+  batch kernels; only scalar subqueries are refused
+  (:class:`CodegenUnsupported`) — they need the outer row, so the
+  executor routes such trees per row.
+
+:class:`CompiledExprCache` is the cross-execution LRU for compiled
+callables (keyed by structural expression equality + binding layout +
+mode); the Database owns one instance so RewriteCache-warm queries
+stop recompiling identical predicates every run.  Expressions
+containing subqueries are never cached: IN memberships are data
+dependent and scalar subqueries capture executor-local state.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Iterable
+
+from repro.common.errors import ExecutionError
+from repro.expr.eval import _BUILTIN_SCALARS, ExprCompiler, RowBinding, RowFn
+from repro.expr.nodes import (
+    And,
+    Arith,
+    Between,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    ScalarSubquery,
+    Star,
+)
+
+METERED_OR_WIDTH = ExprCompiler.METERED_OR_WIDTH
+
+BatchPredFn = Callable[[list, list], list]
+BatchValueFn = Callable[[list, list], list]
+
+_CMP_OPS: dict[CompareOp, str] = {
+    CompareOp.EQ: "==",
+    CompareOp.NE: "!=",
+    CompareOp.LT: "<",
+    CompareOp.LE: "<=",
+    CompareOp.GT: ">",
+    CompareOp.GE: ">=",
+}
+
+
+class CodegenUnsupported(Exception):
+    """Raised when a tree cannot be rendered in the requested mode."""
+
+
+def is_metered_or(expr: Expr, counters: Any) -> bool:
+    """Would the closure compiler meter this node into policy_evals?"""
+    return (
+        counters is not None
+        and isinstance(expr, Or)
+        and len(expr.children) >= METERED_OR_WIDTH
+    )
+
+
+def contains_metered_or(expr: Expr) -> bool:
+    """True when any Or in the tree is wide enough to be metered.
+
+    Detection is by direct child count (not flattened width) — exactly
+    the shape the closure compiler keys metering on.
+    """
+    from repro.expr.analysis import walk
+
+    return any(
+        isinstance(node, Or) and len(node.children) >= METERED_OR_WIDTH
+        for node in walk(expr)
+    )
+
+
+def contains_scalar_subquery(expr: Expr) -> bool:
+    from repro.expr.analysis import walk
+
+    return any(isinstance(node, ScalarSubquery) for node in walk(expr))
+
+
+class CompiledExprCache:
+    """A small LRU of compiled expression callables.
+
+    Keys are ``(expr, binding.cache_key(), mode, ...)`` — expression
+    nodes are frozen dataclasses, so structurally identical predicates
+    from independent rewrites hit the same entry.  Hit/miss totals are
+    ticked into ``counters.expr_cache_hits`` / ``expr_cache_misses``
+    when a counter set is supplied (zero cost weight: cache
+    bookkeeping is not engine work).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: OrderedDict[Any, Callable] = OrderedDict()
+        # Fast path: (id(expr), extra) -> primary key.  Structural keys
+        # make warm queries hit across re-rewrites, but hashing a
+        # policy-wide OR walks thousands of nodes; once an expression
+        # *object* has hit, later lookups through the same object skip
+        # the walk entirely.  Entries keep a strong reference to the
+        # expression (it is part of the primary key), so ids stay valid
+        # for as long as their alias can resolve.
+        self._id_alias: dict[tuple, Any] = {}
+        # The cache is shared by every executor of one Database — and
+        # the serving tier's workers execute on one Database from many
+        # threads, where an unlocked LRU's move_to_end/popitem races
+        # would corrupt mid-query (the same hazard GuardCache locks
+        # against).  Compilation itself stays outside the lock.
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Any, counters: Any = None) -> Callable | None:
+        with self._lock:
+            fn = self._entries.get(key)
+            if fn is not None:
+                self._entries.move_to_end(key)
+        if counters is not None:
+            if fn is None:
+                counters.expr_cache_misses += 1
+            else:
+                counters.expr_cache_hits += 1
+        return fn
+
+    def put(self, key: Any, fn: Callable) -> None:
+        with self._lock:
+            entries = self._entries
+            entries[key] = fn
+            entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+
+    def lookup(self, expr: Any, extra: tuple, counters: Any = None) -> Callable | None:
+        """Two-tier get: by expression object id first, then by
+        structural key (registering the id alias on a hit)."""
+        alias = (id(expr), extra)
+        with self._lock:
+            primary = self._id_alias.get(alias)
+            if primary is not None:
+                fn = self._entries.get(primary)
+                if fn is not None:
+                    self._entries.move_to_end(primary)
+                    if counters is not None:
+                        counters.expr_cache_hits += 1
+                    return fn
+                self._id_alias.pop(alias, None)  # evicted under the alias
+        key = (expr, *extra)
+        fn = self.get(key, counters)
+        if fn is not None:
+            with self._lock:
+                if len(self._id_alias) > 4 * self.capacity:
+                    self._id_alias.clear()
+                self._id_alias[alias] = key
+        return fn
+
+    def store(self, expr: Any, extra: tuple, fn: Callable) -> None:
+        key = (expr, *extra)
+        self.put(key, fn)
+        with self._lock:
+            if len(self._id_alias) > 4 * self.capacity:
+                self._id_alias.clear()
+            self._id_alias[(id(expr), extra)] = key
+
+    def clear(self) -> int:
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._id_alias.clear()
+            return n
+
+
+class _Emitter:
+    """Renders one expression tree into Python source.
+
+    ``mode`` is ``"row"`` (references spelled ``_r[pos]``) or ``"col"``
+    (``_c<pos>[_i]``, with the touched columns recorded for the kernel
+    prelude).  Helper functions (metered ORs) accumulate in ``defs``;
+    constants/callables that cannot be inlined land in ``env``.
+    """
+
+    def __init__(self, compiler: "CodegenExprCompiler", mode: str, hoisted: bool = False):
+        self.compiler = compiler
+        self.mode = mode
+        #: When True (loop-form kernels), column refs read per-row
+        #: hoisted locals ``_v<pos>`` assigned once at the top of the
+        #: row loop, instead of subscripting the column array at every
+        #: occurrence across hundreds of guard conditions.
+        self.hoisted = hoisted
+        self.defs: list[str] = []  # row mode: module-level helper functions
+        self.inner_defs: list[str] = []  # col mode: helpers nested in the kernel
+        self.env: dict[str, Any] = {}
+        self.used_columns: set[int] = set()
+        self._n = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._n += 1
+        return f"_{prefix}{self._n}"
+
+    def const(self, value: Any) -> str:
+        name = self.fresh("k")
+        self.env[name] = value
+        return name
+
+    def literal(self, value: Any) -> str:
+        if value is None or isinstance(value, (bool, int, str)):
+            return repr(value)
+        if isinstance(value, float) and math.isfinite(value):
+            return repr(value)
+        return self.const(value)
+
+    def column(self, pos: int) -> str:
+        if self.mode == "row":
+            return f"_r[{pos}]"
+        self.used_columns.add(pos)
+        if self.hoisted:
+            return f"_v{pos}"
+        return f"_c{pos}[_i]"
+
+    # ------------------------------------------------------------ rendering
+
+    def emit(self, expr: Expr) -> str:
+        c = self.compiler
+        if isinstance(expr, Literal):
+            return self.literal(expr.value)
+        if isinstance(expr, ColumnRef):
+            return self.column(c.binding.resolve(expr))
+        if isinstance(expr, Comparison):
+            lt, rt = self.fresh("t"), self.fresh("t")
+            left, right = self.emit(expr.left), self.emit(expr.right)
+            op = _CMP_OPS[expr.op]
+            if isinstance(expr.right, (Literal, ColumnRef)):
+                # Lazy right side: a literal/column evaluation has no
+                # observable effects, so skipping it on a NULL left is
+                # indistinguishable from the closure compiler — and
+                # this is the shape every guard condition compiles to.
+                return (
+                    f"(({lt} := {left}) is not None and "
+                    f"({rt} := {right}) is not None and {lt} {op} {rt})"
+                )
+            # Complex right side (function call, arithmetic, subquery):
+            # the closure compiler evaluates both operands before the
+            # NULL checks, so effects (UDF invocation counts, raised
+            # errors) must happen even when the left is NULL.  The
+            # leading two-tuple is always truthy and just forces both
+            # evaluations in order.
+            return (
+                f"((({lt} := {left}), ({rt} := {right})) and "
+                f"{lt} is not None and {rt} is not None and {lt} {op} {rt})"
+            )
+        if isinstance(expr, Between):
+            t = self.fresh("t")
+            inner = self.emit(expr.expr)
+            low, high = self.emit(expr.low), self.emit(expr.high)
+            body = f"{low} <= {t} <= {high}"
+            if expr.negated:
+                body = f"not ({body})"
+            return f"(({t} := {inner}) is not None and ({body}))"
+        if isinstance(expr, InList):
+            t = self.fresh("t")
+            inner = self.emit(expr.expr)
+            if all(isinstance(i, Literal) for i in expr.items):
+                values = frozenset(i.value for i in expr.items)  # type: ignore[union-attr]
+                members = self.const(values)
+                op = "not in" if expr.negated else "in"
+                return f"(({t} := {inner}) is not None and {t} {op} {members})"
+            items = [self.emit(i) for i in expr.items]
+            if expr.negated:
+                body = " and ".join(f"{t} != {item}" for item in items)
+            else:
+                body = " or ".join(f"{t} == {item}" for item in items)
+            return f"(({t} := {inner}) is not None and ({body}))"
+        if isinstance(expr, And):
+            parts = [f"bool({self.emit(ch)})" for ch in expr.children]
+            return "(" + " and ".join(parts) + ")"
+        if isinstance(expr, Or):
+            if is_metered_or(expr, c.counters):
+                return self._emit_metered_or(expr)
+            parts = [f"bool({self.emit(ch)})" for ch in expr.children]
+            return "(" + " or ".join(parts) + ")"
+        if isinstance(expr, Not):
+            return f"(not {self.emit(expr.child)})"
+        if isinstance(expr, Arith):
+            lt, rt = self.fresh("t"), self.fresh("t")
+            left, right = self.emit(expr.left), self.emit(expr.right)
+            if expr.op in ("/", "%"):
+                # Matches the closure compiler: divide-by-zero/NULL -> NULL.
+                inner = f"(({lt} {expr.op} {rt}) if {rt} else None)"
+            elif expr.op in ("+", "-", "*"):
+                inner = f"({lt} {expr.op} {rt})"
+            else:
+                raise ExecutionError(f"unknown arithmetic operator {expr.op!r}")
+            return (
+                f"(None if ({lt} := {left}) is None or "
+                f"({rt} := {right}) is None else {inner})"
+            )
+        if isinstance(expr, FuncCall):
+            return self._emit_call(expr)
+        if isinstance(expr, IsNull):
+            # Bind through a temp so a literal child never produces an
+            # ``<literal> is None`` SyntaxWarning.
+            t = self.fresh("t")
+            return f"(({t} := {self.emit(expr.child)}) is None)"
+        if isinstance(expr, InSubquery):
+            if c.in_subquery_fn is None:
+                raise CodegenUnsupported("IN subqueries unavailable here")
+            members = self.const(c.in_subquery_fn(expr.select))
+            t = self.fresh("t")
+            inner = self.emit(expr.expr)
+            op = "not in" if expr.negated else "in"
+            return f"(({t} := {inner}) is not None and {t} {op} {members})"
+        if isinstance(expr, ScalarSubquery):
+            if self.mode != "row" or c.subquery_fn is None:
+                raise CodegenUnsupported("scalar subqueries need row mode")
+            fn = self.const(c.subquery_fn)
+            ast = self.const(expr.select)
+            return f"{fn}({ast}, _r)"
+        if isinstance(expr, Star):
+            raise ExecutionError("'*' is only valid in a SELECT list")
+        raise CodegenUnsupported(f"no codegen for {type(expr).__name__}")
+
+    def _emit_call(self, expr: FuncCall) -> str:
+        name = expr.name.lower()
+        target = self.compiler.udfs.get(name) or _BUILTIN_SCALARS.get(name)
+        if target is None:
+            raise ExecutionError(
+                f"unknown function {expr.name!r} "
+                "(aggregates are only valid in SELECT/HAVING)"
+            )
+        fn = self.const(target)
+        args = ", ".join(self.emit(a) for a in expr.args)
+        return f"{fn}({args})"
+
+    def _emit_metered_or(self, expr: Or) -> str:
+        """A wide OR becomes a flat helper: per-row short-circuit with
+        ``policy_evals += <disjuncts actually checked>`` — byte-for-byte
+        the accounting of the closure compiler's metered OR.
+
+        In row mode the helper takes the row; in column mode it takes
+        the row index and closes over the kernel's column locals, so
+        nested policy ORs stay metered inside batch kernels."""
+        name = self.fresh("h")
+        ctr = self.const(self.compiler.counters)
+        arg = "_r" if self.mode == "row" else "_i"
+        lines = [f"def {name}({arg}):"]
+        for i, child in enumerate(expr.children):
+            lines.append(f"    if {self.emit(child)}:")
+            lines.append(f"        {ctr}.policy_evals += {i + 1}")
+            lines.append("        return True")
+        lines.append(f"    {ctr}.policy_evals += {len(expr.children)}")
+        lines.append("    return False")
+        if self.mode == "row":
+            self.defs.append("\n".join(lines))
+        else:
+            self.inner_defs.append("\n".join(lines))
+        return f"{name}({arg})"
+
+
+class CodegenExprCompiler:
+    """Source-generating drop-in for :class:`ExprCompiler`.
+
+    Same constructor contract as the closure compiler; ``compile``
+    falls back to it whenever generation or ``compile()`` of the
+    rendered source fails, so callers never need a capability check.
+    """
+
+    def __init__(
+        self,
+        binding: RowBinding,
+        udfs: dict[str, Callable[..., Any]] | None = None,
+        subquery_fn: Callable[[Any, tuple], Any] | None = None,
+        in_subquery_fn: Callable[[Any], frozenset] | None = None,
+        counters: Any = None,
+    ):
+        self.binding = binding
+        self.udfs = udfs or {}
+        self.subquery_fn = subquery_fn
+        self.in_subquery_fn = in_subquery_fn
+        self.counters = counters
+
+    # ------------------------------------------------------------- row mode
+
+    def compile(self, expr: Expr) -> RowFn:
+        try:
+            emitter = _Emitter(self, "row")
+            body = emitter.emit(expr)
+            src = "\n\n".join(emitter.defs + [f"def _main(_r):\n    return {body}"])
+            return self._exec(src, emitter.env)["_main"]
+        except ExecutionError:
+            raise
+        except Exception:
+            return self._closure().compile(expr)
+
+    def _closure(self) -> ExprCompiler:
+        return ExprCompiler(
+            self.binding,
+            udfs=self.udfs,
+            subquery_fn=self.subquery_fn,
+            in_subquery_fn=self.in_subquery_fn,
+            counters=self.counters,
+        )
+
+    # ---------------------------------------------------------- column mode
+
+    def compile_batch_predicate(self, expr: Expr) -> BatchPredFn:
+        """``fn(columns, selection) -> passing indices`` (order kept).
+
+        Raises :class:`CodegenUnsupported` for trees that must stay on
+        the row path (scalar subqueries) — the vectorized executor
+        catches it and routes those per row.  Nested metered ORs
+        become kernel-local per-index helpers, so policy accounting
+        survives inside batch kernels.
+        """
+        emitter = _Emitter(self, "col")
+        body = emitter.emit(expr)
+        return self._kernel(emitter, [f"    return [_i for _i in _sel if {body}]"])
+
+    def compile_batch_values(self, expr: Expr) -> BatchValueFn:
+        """``fn(columns, selection) -> value list`` (one per index)."""
+        emitter = _Emitter(self, "col")
+        body = emitter.emit(expr)
+        return self._kernel(emitter, [f"    return [{body} for _i in _sel]"])
+
+    def compile_batch_guard(self, expr: Or) -> BatchPredFn:
+        """The fused form of guard-by-guard evaluation: one wide
+        (metered) OR as a single loop kernel.
+
+        Per index, disjuncts are tried in order; the first hit appends
+        the index to the output selection and stops — accumulating the
+        per-row checked count so one ``policy_evals`` update per batch
+        carries exactly the tuple path's total.  This is what makes
+        guarded scans batch-fast: a whole batch of policy checks runs
+        without a single per-row Python call.
+        """
+        emitter = _Emitter(self, "col", hoisted=True)
+        width = len(expr.children)
+        branches: list[str] = []
+        for j, child in enumerate(expr.children):
+            cond = emitter.emit(child)
+            branches += [
+                f"        if {cond}:",
+                f"            _n += {j + 1}",
+                "            _add(_i)",
+                "            continue",
+            ]
+        ctr = emitter.const(self.counters)
+        hoists = [
+            f"        _v{pos} = _c{pos}[_i]"
+            for pos in sorted(emitter.used_columns)
+        ]
+        lines = [
+            "    _hits = []",
+            "    _add = _hits.append",
+            "    _n = 0",
+            "    for _i in _sel:",
+            *hoists,
+            *branches,
+            f"        _n += {width}",
+            f"    {ctr}.policy_evals += _n",
+            "    return _hits",
+        ]
+        return self._kernel(emitter, lines)
+
+    def _kernel(self, emitter: _Emitter, body_lines: list[str]) -> Callable:
+        prelude = [
+            f"    _c{pos} = _cols[{pos}]" for pos in sorted(emitter.used_columns)
+        ]
+        inner = [
+            "\n".join("    " + line for line in block.split("\n"))
+            for block in emitter.inner_defs
+        ]
+        src = "\n".join(
+            ["def _kernel(_cols, _sel):", *prelude, *inner, *body_lines]
+        )
+        return self._exec(src, emitter.env)["_kernel"]
+
+    @staticmethod
+    def _exec(src: str, env: dict[str, Any]) -> dict[str, Any]:
+        namespace = dict(env)
+        exec(compile(src, "<sieve-codegen>", "exec"), namespace)  # noqa: S102
+        return namespace

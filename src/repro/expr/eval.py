@@ -53,6 +53,7 @@ class RowBinding:
         self._by_name: dict[str, list[int]] = {}
         self._width = 0
         self._names_in_order: list[str] = []
+        self._cache_key: tuple | None = None
 
     @classmethod
     def for_table(cls, alias: str, column_names: Sequence[str]) -> "RowBinding":
@@ -61,6 +62,7 @@ class RowBinding:
         return binding
 
     def add_table(self, alias: str, column_names: Sequence[str]) -> None:
+        self._cache_key = None
         alias_l = alias.lower()
         for name in column_names:
             name_l = name.lower()
@@ -79,6 +81,15 @@ class RowBinding:
 
     def aliases(self) -> set[str]:
         return {alias for alias, _ in self._by_qualified}
+
+    def cache_key(self) -> tuple:
+        """A hashable layout fingerprint: two bindings with equal keys
+        resolve every reference identically, so compiled expressions
+        may be shared between them (the compiled-function cache keys
+        on this plus the expression)."""
+        if self._cache_key is None:
+            self._cache_key = tuple(sorted(self._by_qualified.items()))
+        return self._cache_key
 
     def has(self, ref: ColumnRef) -> bool:
         try:

@@ -15,6 +15,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+#: Bit offsets set in each byte value — lets iteration walk the bitmap
+#: bytewise instead of paying a big-int shift per set bit (which is
+#: quadratic for dense maps).
+_BYTE_BITS: list[tuple[int, ...]] = [
+    tuple(b for b in range(8) if value >> b & 1) for value in range(256)
+]
+
 
 class RowIdBitmap:
     """An immutable-ish set of rowids with cheap boolean algebra."""
@@ -26,10 +33,18 @@ class RowIdBitmap:
 
     @classmethod
     def from_rowids(cls, rowids: Iterable[int]) -> "RowIdBitmap":
-        bits = 0
+        """Build from rowids via a bytearray: appending one bit to a
+        Python int re-allocates the whole int, so the naive
+        ``bits |= 1 << rid`` loop is quadratic in the table size."""
+        buf = bytearray()
+        size = 0
         for rid in rowids:
-            bits |= 1 << rid
-        return cls(bits)
+            byte = rid >> 3
+            if byte >= size:
+                buf.extend(b"\x00" * (byte + 1 - size))
+                size = byte + 1
+            buf[byte] |= 1 << (rid & 7)
+        return cls(int.from_bytes(bytes(buf), "little"))
 
     def add(self, rowid: int) -> None:
         self._bits |= 1 << rowid
@@ -57,12 +72,22 @@ class RowIdBitmap:
 
     def iter_sorted(self) -> Iterator[int]:
         """Rowids in ascending order — the property that makes the heap
-        visit sequential-ish (each page touched once, in order)."""
+        visit sequential-ish (each page touched once, in order).
+
+        Walks the bitmap bytewise (one C-level conversion, then a
+        256-entry offset table per non-zero byte) — linear in the
+        bitmap size instead of one big-int shift per set bit."""
         bits = self._bits
-        while bits:
-            low = bits & -bits
-            yield low.bit_length() - 1
-            bits ^= low
+        if not bits:
+            return
+        data = bits.to_bytes((bits.bit_length() + 7) // 8, "little")
+        byte_bits = _BYTE_BITS
+        base = 0
+        for byte in data:
+            if byte:
+                for offset in byte_bits[byte]:
+                    yield base + offset
+            base += 8
 
     def pages(self, page_size: int) -> list[int]:
         """Distinct page numbers covered, ascending."""

@@ -56,6 +56,7 @@ from repro.expr.nodes import (
 from repro.engine.plans import (
     AggregatePlan,
     AggSpec,
+    annotate_batch_capability,
     BitmapOrPlan,
     CTEScanPlan,
     DerivedScanPlan,
@@ -140,6 +141,11 @@ class Planner:
             cte_plans[cte.name.lower()] = sub
             self._cte_bindings[cte.name.lower()] = sub.binding.column_names
         root = self._plan_core(query.body, extra_ctes=cte_plans)
+        # Batch-capability annotation: the vectorized executor trusts
+        # these flags, so every plan leaving the planner carries them.
+        annotate_batch_capability(root)
+        for cte_plan in cte_plans.values():
+            annotate_batch_capability(cte_plan)
         return PlannedQuery(root=root, cte_plans=cte_plans)
 
     def _plan_core(self, core: SelectCore, extra_ctes: dict[str, PlanNode]) -> PlanNode:

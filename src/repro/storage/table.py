@@ -109,6 +109,41 @@ class HeapTable:
             if row is not None:
                 yield rowid, row
 
+    def scan_batches(
+        self, batch_slots: int | None = None
+    ) -> Iterator[tuple[list[int], list[tuple]]]:
+        """Sequential scan in page-aligned batches: ``(rowids, rows)``
+        per slice of ``batch_slots`` slots (live rows only).
+
+        Batches are aligned to page boundaries so a consumer counting
+        distinct pages per batch gets exactly the sequential-page total
+        a tuple-at-a-time scan would have charged.  The vectorized
+        executor's scan nodes are the consumer; the two list
+        comprehensions per slice are the whole per-row cost.
+        """
+        step = batch_slots or self.page_size * 8
+        step = max(self.page_size, (step // self.page_size) * self.page_size)
+        slots = self._rows
+        for start in range(0, len(slots), step):
+            chunk = slots[start : start + step]
+            rowids = [start + j for j, row in enumerate(chunk) if row is not None]
+            rows = [row for row in chunk if row is not None]
+            yield rowids, rows
+
+    def get_many(self, rowids: Iterable[int]) -> list[tuple[int, tuple]]:
+        """``(rowid, row)`` pairs for the live subset of ``rowids``,
+        in the given order (the batch fetch used by bitmap heap visits
+        and index scans)."""
+        slots = self._rows
+        n = len(slots)
+        out: list[tuple[int, tuple]] = []
+        for rid in rowids:
+            if 0 <= rid < n:
+                row = slots[rid]
+                if row is not None:
+                    out.append((rid, row))
+        return out
+
     def column_values(self, name: str) -> list[Any]:
         """All live values of one column (used by statistics builders)."""
         idx = self.schema.index_of(name)
