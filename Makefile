@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend bench-engine bench-service docs-check
+.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -30,6 +30,12 @@ bench-engine:
 # zero failed requests (and >= 2x 1->4 worker scaling on >= 4 cores).
 bench-service:
 	$(PYTHON) -m pytest benchmarks/bench_service_throughput.py -q --benchmark-only
+
+# The cluster tier: N=4 scatter-gather vs one server on the Fig. 6
+# workload; asserts cluster-vs-single row identity and >= 2x per-shard
+# policy-filter reduction, and writes repo-root BENCH_cluster.json.
+bench-cluster:
+	$(PYTHON) -m pytest benchmarks/bench_cluster.py -q --benchmark-only
 
 # The full benchmark suite (minutes; writes benchmarks/results/).
 bench:

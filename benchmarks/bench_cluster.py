@@ -1,0 +1,223 @@
+"""Cluster bench — scatter-gather serving vs one server.
+
+Not a paper figure: this measures the sharded cluster tier
+(``repro/cluster``) layered on the reproduction.  The workload is the
+Fig. 6 / Experiment 5 serving shape — Mall shops as queriers, each
+holding a few hundred *direct* policies over ``WiFi_Connectivity``
+(the querier-partitioned corpus the cluster is designed for; the
+group-heavy consumer corpus fans out by design and is covered by the
+differential suite).
+
+What is asserted, all deterministic:
+
+* **row identity** — a sample of (querier, query) pairs answers
+  identically through the N=4 cluster and a single
+  :class:`~repro.service.SieveServer` over the whole corpus (the full
+  matrix lives in ``tests/test_cluster_differential.py``);
+* **~1/N policy-filter work per shard** — the largest shard partition
+  holds at most half the corpus at N=4 (>= 2x per-shard reduction in
+  PQM/snapshot work; measured value is ~4x);
+* **rebalance locality** — adding a 5th shard moves a bounded
+  fraction of the queriers and invalidates *only* the migrated
+  queriers' warm guard entries; every unmigrated entry survives.
+
+Closed-loop throughput (cluster vs single server on the bundled
+engine) is reported for trajectory tracking but not asserted: shards
+here live in one Python process, so the GIL bounds parallel speedup —
+the cluster's scaling win is the per-shard *work* reduction above,
+plus per-shard engines when deployed across processes.
+
+Results go to ``benchmarks/results/cluster_scatter_gather.*`` and the
+repo-root ``BENCH_cluster.json`` (same schema family as
+``BENCH_engine.json``), emitted by ``make bench-cluster`` / CI's
+cluster-smoke job.  ``SIEVE_BENCH_CLUSTER_DURATION`` (seconds, default
+1.5) stretches each closed-loop window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.bench.loadgen import ClientScript, run_closed_loop
+from repro.bench.results import format_table, write_result
+from repro.bench.scenarios import mall_policies_for_shop
+from repro.cluster import SieveCluster
+from repro.core import Sieve
+from repro.datasets.mall import MallConfig, generate_mall
+from repro.policy.store import PolicyStore
+from repro.service import SieveServer
+
+N_SHARDS = 4
+#: All 35 shops of the paper's Mall act as queriers — enough routable
+#: keys for the ring to spread the corpus (the ~1/N share assertion is
+#: a statement about many-querier corpora, not about 4 keys).
+N_SHOPS = 35
+POLICIES_PER_SHOP = 80
+#: Extra virtual nodes tighten the shard spread at this querier count.
+VNODES = 256
+MIN_REDUCTION = 2.0
+DURATION_S = float(os.environ.get("SIEVE_BENCH_CLUSTER_DURATION", "1.5"))
+SQLS = [
+    "SELECT COUNT(*) FROM WiFi_Connectivity",
+    "SELECT owner, COUNT(*) FROM WiFi_Connectivity GROUP BY owner",
+    "SELECT COUNT(*) FROM WiFi_Connectivity WHERE ts_time BETWEEN 600 AND 1200",
+]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def build_world():
+    mall = generate_mall(
+        MallConfig(seed=13, n_customers=700, days=20, personality="postgres")
+    )
+    store = PolicyStore(mall.db, mall.groups)
+    shops = mall.shops[:N_SHOPS]
+    for shop in shops:
+        store.insert_many(
+            mall_policies_for_shop(mall, shop, POLICIES_PER_SHOP, seed=900 + shop)
+        )
+    queriers = [mall.shop_querier(shop) for shop in shops]
+    return mall, store, queriers
+
+
+def _scripts(queriers: list) -> list[ClientScript]:
+    return [ClientScript(querier=q, purpose="any", sqls=SQLS) for q in queriers]
+
+
+def test_cluster_scatter_gather(benchmark):
+    mall, store, queriers = build_world()
+    total_policies = len(store)
+    single_sieve = Sieve(mall.db, store)
+    cluster = SieveCluster.replicated(
+        mall.db, store, n_shards=N_SHARDS, workers_per_shard=2, vnodes=VNODES
+    )
+    results: dict = {}
+
+    def run():
+        results.clear()
+        with SieveServer(single_sieve, workers=2) as single, cluster:
+            # --- row identity on the query matrix (deterministic) ----
+            checked = 0
+            for querier in queriers:
+                for sql in SQLS:
+                    single_rows = sorted(single.execute(sql, querier, "any", timeout=120).rows)
+                    cluster_rows = sorted(cluster.execute(sql, querier, "any", timeout=120).rows)
+                    assert cluster_rows == single_rows, (querier, sql)
+                    checked += 1
+            results["rows_checked"] = checked
+
+            # --- per-shard policy-filter work (deterministic) --------
+            sizes = cluster.partition_sizes()
+            results["partition_policies"] = sizes
+            results["reduction_factor"] = total_policies / max(sizes.values())
+
+            # --- closed-loop throughput (informational) --------------
+            single_report = run_closed_loop(
+                single, _scripts(queriers), duration_s=DURATION_S
+            )
+            cluster_report = run_closed_loop(
+                cluster, _scripts(queriers), duration_s=DURATION_S
+            )
+            results["single"] = single_report
+            results["cluster"] = cluster_report
+
+            # --- rebalance locality (deterministic) ------------------
+            for querier in queriers:  # ensure every querier is warm
+                cluster.execute(SQLS[0], querier, "any", timeout=120)
+            warm_before = {
+                name: set(cluster.shard(name).sieve.guard_cache.keys())
+                for name in cluster.shard_names
+            }
+            report = cluster.add_shard(cluster.replica_spec())
+            moved = report.moved_queriers
+            preserved = evicted_ok = evicted_bad = 0
+            for name, keys in warm_before.items():
+                surviving = set(cluster.shard(name).sieve.guard_cache.keys())
+                for key in keys:
+                    if key in surviving:
+                        preserved += 1
+                        assert key[0] not in moved, (
+                            f"migrated querier {key[0]!r} kept stale guards"
+                        )
+                    elif key[0] in moved:
+                        evicted_ok += 1
+                    else:
+                        evicted_bad += 1
+            assert evicted_bad == 0, f"{evicted_bad} unmigrated entries evicted"
+            results["rebalance"] = {
+                "drained": report.drained,
+                "moved_queriers": len(moved),
+                "universe": report.universe,
+                "moved_fraction": report.moved_fraction,
+                "invalidated_entries": report.invalidated_entries,
+                "warm_entries_preserved": preserved,
+                "warm_entries_evicted_migrated": evicted_ok,
+            }
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sizes = results["partition_policies"]
+    reduction = results["reduction_factor"]
+    single_report = results["single"]
+    cluster_report = results["cluster"]
+    rebalance = results["rebalance"]
+
+    rows = [
+        ["single", 1, total_policies, f"{single_report.throughput_qps:,.0f}",
+         f"{single_report.latency.p50_ms:,.2f}", f"{single_report.latency.p95_ms:,.2f}",
+         single_report.failed],
+        ["cluster", N_SHARDS, max(sizes.values()), f"{cluster_report.throughput_qps:,.0f}",
+         f"{cluster_report.latency.p50_ms:,.2f}", f"{cluster_report.latency.p95_ms:,.2f}",
+         cluster_report.failed],
+    ]
+    table = format_table(
+        ["tier", "shards", "max policies/shard", "qps", "p50 ms", "p95 ms", "failed"],
+        rows,
+    )
+    data = {
+        "workload": "fig6-mall-sharded-serving",
+        "shards": N_SHARDS,
+        "shops": N_SHOPS,
+        "policies_total": total_policies,
+        "partition_policies": sizes,
+        "reduction_factor": round(reduction, 2),
+        "min_reduction_asserted": MIN_REDUCTION,
+        "rows_checked": results["rows_checked"],
+        "single_qps": single_report.throughput_qps,
+        "cluster_qps": cluster_report.throughput_qps,
+        "single_p95_ms": single_report.latency.p95_ms,
+        "cluster_p95_ms": cluster_report.latency.p95_ms,
+        "rebalance": rebalance,
+    }
+    write_result(
+        "cluster_scatter_gather",
+        "Cluster tier — N=4 scatter-gather vs one server (Fig. 6 workload)",
+        table,
+        data=data,
+        notes=(
+            f"Row-set identity checked on {results['rows_checked']} "
+            f"(querier, query) pairs; per-shard policy partitions hold "
+            f"{min(sizes.values())}-{max(sizes.values())} of {total_policies} "
+            f"policies (>= {MIN_REDUCTION}x per-shard policy-filter reduction "
+            "asserted).  Rebalance to N=5 must move a bounded querier "
+            "fraction and invalidate only migrated queriers' warm guards.  "
+            "Throughput is informational: shards share one process/GIL here, "
+            "so the cluster's win is per-shard corpus work, not single-host "
+            "qps."
+        ),
+    )
+    (REPO_ROOT / "BENCH_cluster.json").write_text(json.dumps(data, indent=2) + "\n")
+
+    assert single_report.failed == 0 and cluster_report.failed == 0
+    assert results["rows_checked"] == len(queriers) * len(SQLS)
+    assert reduction >= MIN_REDUCTION, (
+        f"largest shard partition holds {max(sizes.values())} of "
+        f"{total_policies} policies — only {reduction:.2f}x per-shard "
+        f"policy-filter reduction (need >= {MIN_REDUCTION}x at N={N_SHARDS})"
+    )
+    assert rebalance["drained"]
+    assert 0 < rebalance["moved_fraction"] <= 0.5
+    assert rebalance["warm_entries_preserved"] > 0

@@ -32,7 +32,9 @@ measured window, e.g. for quieter percentiles on a loaded machine.
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 import tempfile
 from functools import lru_cache
 
@@ -44,6 +46,8 @@ from repro.core import Sieve
 from repro.datasets.mall import MallConfig, generate_mall
 from repro.policy.store import PolicyStore
 from repro.service import SieveServer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 WORKER_SWEEP = [1, 2, 4]
 CLIENT_SWEEP = [2, 6, 12]
@@ -183,9 +187,24 @@ def test_service_throughput_scaling(benchmark):
     )
 
     by = {(r["engine"], r["workers"]): r for r in results}
+    sq1, sq4 = by[("sqlite", 1)]["qps"], by[("sqlite", 4)]["qps"]
+    b1, b4 = by[("bundled", 1)]["qps"], by[("bundled", 4)]["qps"]
+    # Repo-root serving-tier snapshot (same schema family as
+    # BENCH_engine.json / BENCH_cluster.json) so the perf trajectory
+    # tracks the serving tier at the top level, not just the engine.
+    payload = {
+        "workload": "fig6-mall-serving",
+        "duration_s": DURATION_S,
+        "cpus": cpus,
+        "configs": results,
+        "scaling_1to4_sqlite": round(sq4 / sq1, 2) if sq1 else 0.0,
+        "scaling_1to4_bundled": round(b4 / b1, 2) if b1 else 0.0,
+        "min_sqlite_scaling_asserted_on_4cpu_hosts": 2.0,
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(json.dumps(payload, indent=2) + "\n")
+
     assert all(r["failed"] == 0 for r in results), f"failed requests: {results}"
     assert all(r["completed"] > 0 for r in results)
-    sq1, sq4 = by[("sqlite", 1)]["qps"], by[("sqlite", 4)]["qps"]
     if cpus >= 4:
         assert sq4 >= 2.0 * sq1, (
             f"sqlite backend must scale >= 2x from 1 -> 4 workers on a "
@@ -198,7 +217,6 @@ def test_service_throughput_scaling(benchmark):
             f"4-worker sqlite throughput collapsed on a {cpus}-cpu host: "
             f"{sq1:.0f} -> {sq4:.0f} qps"
         )
-    b1, b4 = by[("bundled", 1)]["qps"], by[("bundled", 4)]["qps"]
     assert b4 >= 0.5 * b1, (
         f"bundled-engine throughput collapsed under workers: {b1:.0f} -> {b4:.0f}"
     )

@@ -1,0 +1,44 @@
+"""The sharded cluster tier: querier-partitioned scatter-gather serving.
+
+``repro/cluster`` scales the serving tier horizontally: a
+:class:`SieveCluster` coordinator consistent-hash routes each request
+to one of N :class:`ClusterShard`\\ s, each owning a
+querier-partitioned view of the policy corpus
+(:meth:`PolicyStore.partition
+<repro.policy.store.PolicyStore.partition>`), shard-local guard and
+rewrite caches, and a private execution engine (replicated bundled
+database or shipped backend) under its own
+:class:`~repro.service.SieveServer`.  Policy writes route through the
+coordinator to the owning shard — group policies scatter to every
+shard holding a member — and online shard add/remove rebalances with
+hash-ring stability: only migrated queriers' cached guards are
+invalidated.  ``tests/test_cluster_differential.py`` proves the whole
+tier is semantically invisible versus one server over the full
+corpus; see ``docs/ARCHITECTURE.md`` ("Cluster tier").
+"""
+
+from repro.common.errors import ClusterError, ShardUnavailableError
+from repro.cluster.coordinator import (
+    ClusterShard,
+    ClusterStats,
+    RebalanceReport,
+    ShardSpec,
+    SieveCluster,
+)
+from repro.cluster.replicate import SIEVE_INTERNAL_TABLES, replicate_database
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+
+__all__ = [
+    "ClusterError",
+    "ClusterShard",
+    "ClusterStats",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "RebalanceReport",
+    "SIEVE_INTERNAL_TABLES",
+    "ShardSpec",
+    "ShardUnavailableError",
+    "SieveCluster",
+    "replicate_database",
+    "stable_hash",
+]

@@ -1,0 +1,701 @@
+"""The sharded cluster coordinator: scatter-gather serving at N shards.
+
+One :class:`SieveCluster` fronts N :class:`ClusterShard`\\ s.  Each
+shard owns the full vertical slice of the serving stack for *its*
+queriers — a partition-scoped policy view
+(:meth:`~repro.policy.store.PolicyStore.partition`), its own
+guard/rewrite caches and guard store, its own execution engine (a
+replicated bundled-engine database or a shipped
+:class:`~repro.backend.Backend`), and its own
+:class:`~repro.service.SieveServer` worker pool.  The coordinator owns
+only the routing table (a :class:`~repro.cluster.ring.HashRing`) and
+the base :class:`~repro.policy.store.PolicyStore`:
+
+.. code-block:: text
+
+    cluster.submit(sql, querier, purpose)          # → Future
+        │ route: ring.route(querier) → shard      (read-locked swap point;
+        ▼         down shard → ShardUnavailableError backpressure)
+    shard.server.submit(...)                       # per-shard admission,
+        │                                          # batching, backpressure
+        ▼
+    shard Sieve: partition snapshot → shard guard cache → rewrite
+        → shard engine (replica / backend)         # 1/N corpus per shard
+
+    cluster.insert_policy(p)                       # admin write path
+        │ owning shards: route(querier), or — for a group policy —
+        ▼ every shard holding a member (scatter)
+    base store write → partition event relay       # only owning shards'
+                                                   # epochs advance
+
+Scaling argument: policy filtering, guard caching, snapshot rebuilds
+and Δ registration on each shard touch ~1/N of the corpus, and corpus
+*churn* costs each shard only its share (foreign mutations do not even
+re-stamp a shard's cache).  The differential guarantee — proven by
+``tests/test_cluster_differential.py`` — is that none of this is
+observable: for every (querier, purpose, query), cluster rows *and*
+per-request enforcement counters are identical to one
+:class:`~repro.service.SieveServer` over the whole corpus.
+
+**Online rebalancing** (:meth:`SieveCluster.add_shard` /
+:meth:`SieveCluster.remove_shard`) uses the ring's stability property
+— a shard change moves only ~1/N of the queriers — and a three-phase
+protocol that never produces a wrong answer mid-flight:
+
+1. *grow*: partitions whose membership changes are widened to the
+   union of old and new ownership (a partition holding extra queriers
+   is still exactly correct for each of them);
+2. *swap*: the ring reference is replaced under the routing write
+   lock — new requests follow the new assignment atomically;
+3. *drain + shrink*: each shard that lost queriers waits for its
+   already-admitted requests for those queriers to finish
+   (:meth:`~repro.service.SieveServer.wait_quiesced` — terminating
+   even under load, since such requests stop arriving after the
+   swap), then shrinks its partition and drops exactly the migrated
+   queriers' cached guards/rewrites.  Unmigrated queriers keep their
+   warm state — the property ``benchmarks/bench_cluster.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.concurrency import RWLock
+from repro.common.errors import ClusterError, ShardUnavailableError
+from repro.core.cost_model import SieveCostModel
+from repro.core.middleware import Sieve
+from repro.cluster.replicate import replicate_database
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.db.database import Database
+from repro.policy.model import Policy
+from repro.policy.store import PolicyStore
+from repro.service.admission import SessionKey
+from repro.service.server import LatencySummary, ServiceStats, SieveServer
+
+DEFAULT_WORKERS_PER_SHARD = 2
+#: How long a rebalance waits for a shard's migrated-key stragglers.
+DEFAULT_REBALANCE_TIMEOUT_S = 30.0
+
+_CLUSTER_COUNTERS = (
+    "cluster_requests",
+    "cluster_unavailable",
+    "cluster_policy_writes",
+    "cluster_policy_fanout",
+    "cluster_rebalance_moves",
+)
+
+
+@dataclass
+class ShardSpec:
+    """What a shard needs from the outside: an engine of its own.
+
+    ``db`` is the shard's private data replica (see
+    :func:`~repro.cluster.replicate.replicate_database`); ``backend``
+    optionally ships execution to a real DBMS mirrored *from that
+    replica* (e.g. ``SqliteBackend().ship(db)``).  ``name`` defaults
+    to a coordinator-assigned ``shard-<i>``.
+    """
+
+    db: Database
+    backend: Any = None
+    name: str | None = None
+
+
+class ClusterShard:
+    """One shard: partition view + Sieve + server over a private engine."""
+
+    def __init__(
+        self,
+        name: str,
+        spec: ShardSpec,
+        store: PolicyStore,
+        owns: Callable[[Any], bool],
+        workers: int,
+        max_pending: int,
+        max_batch: int,
+        cost_model: SieveCostModel | None = None,
+    ):
+        self.name = name
+        self.db = spec.db
+        self.backend = spec.backend
+        self.partition = store.partition(owns, name=name)
+        self.sieve = Sieve(
+            self.db, self.partition, cost_model=cost_model, backend=self.backend
+        )
+        self.server = SieveServer(
+            self.sieve, workers=workers, max_pending=max_pending, max_batch=max_batch
+        )
+        #: Flipped by fault injection / decommissioning; the
+        #: coordinator refuses to route to an unavailable shard.
+        self.available = True
+
+    def cached_queriers(self) -> set[Any]:
+        """Queriers with warm state in any shard-local tier (guard
+        cache, rewrite cache, or persisted guard store) — the
+        candidates a rebalance checks for migration-driven
+        invalidation."""
+        out = {key[0] for key in self.sieve.guard_cache.keys()}
+        if self.sieve.rewrite_cache is not None:
+            out |= self.sieve.rewrite_cache.queriers()
+        out |= {e.querier for e in self.sieve.guard_store.cached_expressions()}
+        return out
+
+    def invalidate_querier(self, querier: Any) -> int:
+        """Drop one migrated querier's state from every shard tier."""
+        dropped = self.sieve.guard_cache.invalidate(querier=querier)
+        if self.sieve.rewrite_cache is not None:
+            dropped += self.sieve.rewrite_cache.invalidate(querier=querier)
+        dropped += self.sieve.guard_store.invalidate(querier=querier)
+        return dropped
+
+
+def _merge_cache_stats(snapshots: Iterable[dict[str, float] | None]) -> dict[str, float]:
+    agg: dict[str, float] = {
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "invalidations": 0,
+        "coalesced": 0,
+    }
+    for snap in snapshots:
+        if not snap:
+            continue
+        for key in agg:
+            agg[key] += snap.get(key, 0)
+    lookups = agg["hits"] + agg["misses"]
+    agg["hit_rate"] = agg["hits"] / lookups if lookups else 0.0
+    return agg
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-level aggregation of every shard's accounting.
+
+    Counts are exact sums; ``latency`` / ``queue_wait`` merge the
+    per-shard :class:`~repro.service.LatencySummary`\\ s
+    (count-weighted, see :meth:`LatencySummary.merge
+    <repro.service.server.LatencySummary.merge>`); ``guard_cache`` /
+    ``rewrite_cache`` aggregate the shards'
+    :class:`~repro.core.cache.CacheStats` snapshots with the hit rate
+    recomputed over the summed traffic.  ``partition_policies`` is the
+    per-shard policy-partition size — the 1/N corpus share the bench
+    asserts — and ``per_shard`` retains each shard's full
+    :class:`~repro.service.ServiceStats`.
+    """
+
+    shards: int
+    requests: int
+    batches: int
+    rejections: int
+    failures: int
+    pending: int
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    queue_wait: LatencySummary = field(default_factory=LatencySummary)
+    guard_cache: dict[str, float] = field(default_factory=dict)
+    rewrite_cache: dict[str, float] = field(default_factory=dict)
+    partition_policies: dict[str, int] = field(default_factory=dict)
+    per_shard: dict[str, ServiceStats] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def merge(
+        cls,
+        per_shard: dict[str, ServiceStats],
+        partition_policies: dict[str, int],
+        counters: dict[str, int],
+    ) -> "ClusterStats":
+        stats = list(per_shard.values())
+        return cls(
+            shards=len(stats),
+            requests=sum(s.requests for s in stats),
+            batches=sum(s.batches for s in stats),
+            rejections=sum(s.rejections for s in stats),
+            failures=sum(s.failures for s in stats),
+            pending=sum(s.pending for s in stats),
+            latency=LatencySummary.merge([s.latency for s in stats]),
+            queue_wait=LatencySummary.merge([s.queue_wait for s in stats]),
+            guard_cache=_merge_cache_stats(s.guard_cache for s in stats),
+            rewrite_cache=_merge_cache_stats(s.rewrite_cache for s in stats),
+            partition_policies=dict(partition_policies),
+            per_shard=dict(per_shard),
+            counters=dict(counters),
+        )
+
+
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one ring change did, for assertions and dashboards."""
+
+    added: str | None
+    removed: str | None
+    #: Routable queriers whose owner changed (≈ 1/N of the universe).
+    moved_queriers: frozenset
+    #: Size of the routable-querier universe the fraction is over.
+    universe: int
+    #: Cache/guard-store entries dropped — migrated queriers only.
+    invalidated_entries: int
+    #: True when every affected shard drained its stragglers in time.
+    drained: bool
+
+    @property
+    def moved_fraction(self) -> float:
+        return len(self.moved_queriers) / self.universe if self.universe else 0.0
+
+
+class SieveCluster:
+    """Consistent-hash-routed scatter-gather serving over N shards.
+
+    Usage::
+
+        store = PolicyStore(db, groups); store.insert_many(policies)
+        cluster = SieveCluster.replicated(db, store, n_shards=4)
+        with cluster:
+            rows = cluster.execute(sql, querier, purpose).rows
+            cluster.insert_policy(policy)          # routed admin write
+            report = cluster.add_shard(cluster.replica_spec())
+        print(cluster.stats().latency.p95_ms)
+
+    Query routing raises
+    :class:`~repro.common.errors.ShardUnavailableError` when the
+    owning shard is down (explicit backpressure, mirroring
+    ``ServiceOverloadedError``) — fault injection via
+    :meth:`fail_shard` / :meth:`restore_shard`.  ``cluster_*``
+    counters are charged to the *coordinator's* database (the one
+    holding the base policy store).  Like the underlying servers, a
+    stopped cluster cannot be restarted.
+    """
+
+    def __init__(
+        self,
+        store: PolicyStore,
+        specs: Sequence[ShardSpec],
+        workers_per_shard: int = DEFAULT_WORKERS_PER_SHARD,
+        vnodes: int = DEFAULT_VNODES,
+        max_pending: int = 1024,
+        max_batch: int = 16,
+        rebalance_timeout: float = DEFAULT_REBALANCE_TIMEOUT_S,
+        cost_model: SieveCostModel | None = None,
+    ):
+        if not specs:
+            raise ClusterError("a cluster needs at least one shard")
+        self.store = store
+        self.workers_per_shard = workers_per_shard
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.rebalance_timeout = rebalance_timeout
+        self.cost_model = cost_model
+        self._counters = store.db.counters
+        self._counter_lock = threading.Lock()
+        self._route_lock = RWLock()  # readers: routing; writer: ring swap
+        self._admin_lock = threading.RLock()  # serializes rebalances
+        self._shard_seq = 0
+        self._started = False
+        self._stopped = False
+
+        ring = HashRing(vnodes=vnodes)
+        named: list[tuple[str, ShardSpec]] = []
+        for spec in specs:
+            name = self._claim_name(spec, ring)
+            ring = ring.with_node(name)
+            named.append((name, spec))
+        self._ring = ring
+        self._shards: dict[str, ClusterShard] = {
+            name: self._build_shard(name, spec, ring) for name, spec in named
+        }
+
+    @classmethod
+    def replicated(
+        cls,
+        db: Database,
+        store: PolicyStore,
+        n_shards: int,
+        backend_factory: Callable[[Database], Any] | None = None,
+        **kwargs: Any,
+    ) -> "SieveCluster":
+        """Build an N-shard cluster whose shards each execute on a
+        fresh replica of ``db``'s data tier.
+
+        ``backend_factory(replica_db)`` optionally ships each replica
+        to a real DBMS (e.g. ``lambda d: SqliteBackend().ship(d)``);
+        without one, shards run the bundled engine.
+        """
+        if n_shards <= 0:
+            raise ClusterError("n_shards must be positive")
+        specs = []
+        for _ in range(n_shards):
+            replica = replicate_database(db)
+            backend = backend_factory(replica) if backend_factory else None
+            specs.append(ShardSpec(db=replica, backend=backend))
+        return cls(store, specs, **kwargs)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _claim_name(self, spec: ShardSpec, ring: HashRing) -> str:
+        if spec.name is not None:
+            if spec.name in ring:
+                raise ClusterError(f"shard name {spec.name!r} is already in use")
+            return spec.name
+        # Auto-assigned names skip over any caller-supplied ones so a
+        # mixed named/unnamed spec list can never collide.
+        while f"shard-{self._shard_seq}" in ring:
+            self._shard_seq += 1
+        name = f"shard-{self._shard_seq}"
+        self._shard_seq += 1
+        return name
+
+    def _build_shard(self, name: str, spec: ShardSpec, ring: HashRing) -> ClusterShard:
+        # The ownership predicate closes over one immutable ring value;
+        # rebalances install new predicates explicitly, so an in-flight
+        # snapshot can never observe a half-swapped assignment.
+        return ClusterShard(
+            name,
+            spec,
+            self.store,
+            owns=lambda q, r=ring, n=name: r.route(q) == n,
+            workers=self.workers_per_shard,
+            max_pending=self.max_pending,
+            max_batch=self.max_batch,
+            cost_model=self.cost_model,
+        )
+
+    def _tick(self, counter: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            setattr(self._counters, counter, getattr(self._counters, counter) + amount)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "SieveCluster":
+        with self._admin_lock:
+            if self._stopped:
+                raise ClusterError("a stopped cluster cannot be restarted")
+            if not self._started:
+                self._started = True
+                for shard in self._shards.values():
+                    shard.server.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        with self._admin_lock:
+            self._stopped = True
+            for shard in self._shards.values():
+                shard.available = False
+                shard.server.stop(drain=drain)
+            for shard in self._shards.values():
+                # Unhook the partitions from the base store so a dead
+                # cluster's views stop observing (and being pinned by)
+                # its mutation events.
+                shard.partition.detach()
+
+    def __enter__(self) -> "SieveCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop(drain=True)
+
+    # -------------------------------------------------------------- routing
+
+    @property
+    def shard_names(self) -> list[str]:
+        with self._route_lock.read_locked():
+            return sorted(self._shards)
+
+    def shard(self, name: str) -> ClusterShard:
+        with self._route_lock.read_locked():
+            try:
+                return self._shards[name]
+            except KeyError:
+                raise ClusterError(f"unknown shard {name!r}") from None
+
+    def route(self, querier: Any) -> str:
+        """The shard name currently owning ``querier``."""
+        with self._route_lock.read_locked():
+            return self._ring.route(querier)
+
+    def _checked_shard_locked(self, querier: Any) -> ClusterShard:
+        """Owning shard for a routable request.  Caller must hold the
+        routing read lock *across the admission call too*: the
+        rebalance protocol's drain phase only waits for requests
+        already queued, so route-then-enqueue must be atomic against a
+        ring swap (the swap takes the write lock)."""
+        shard = self._shards[self._ring.route(querier)]
+        if not shard.available:
+            self._tick("cluster_unavailable")
+            raise ShardUnavailableError(
+                f"shard {shard.name!r} owning querier {querier!r} is unavailable"
+            )
+        return shard
+
+    # ------------------------------------------------------------- requests
+
+    def submit(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+        """Route one query to its owning shard; future resolves to the
+        :class:`~repro.engine.executor.QueryResult`."""
+        with self._route_lock.read_locked():
+            shard = self._checked_shard_locked(querier)
+            future = shard.server.submit(sql, querier, purpose)
+        self._tick("cluster_requests")
+        return future
+
+    def submit_with_info(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+        with self._route_lock.read_locked():
+            shard = self._checked_shard_locked(querier)
+            future = shard.server.submit_with_info(sql, querier, purpose)
+        self._tick("cluster_requests")
+        return future
+
+    def execute(
+        self, sql: Any, querier: Any, purpose: str, timeout: float | None = None
+    ) -> Any:
+        return self.submit(sql, querier, purpose).result(timeout=timeout)
+
+    def execute_with_info(
+        self, sql: Any, querier: Any, purpose: str, timeout: float | None = None
+    ) -> Any:
+        return self.submit_with_info(sql, querier, purpose).result(timeout=timeout)
+
+    def execute_many(
+        self,
+        sqls: Iterable[Any],
+        querier: Any,
+        purpose: str,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """One querier's batch — single-shard by construction, served
+        with :meth:`SieveServer.execute_many
+        <repro.service.server.SieveServer.execute_many>` ordering
+        semantics (``result[i]`` answers ``sqls[i]``)."""
+        with self._route_lock.read_locked():
+            shard = self._checked_shard_locked(querier)
+            futures = [shard.server.submit(sql, querier, purpose) for sql in sqls]
+        self._tick("cluster_requests", len(futures))
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------- policy writes
+
+    def owning_shards(self, querier: Any) -> list[str]:
+        """Shards that observe a policy naming ``querier`` — the
+        scatter set of a policy write.
+
+        For a user identity: its ring owner.  For a group identity:
+        every shard holding a member (their PQM filters consult the
+        group's policies) *plus* the ring owner of the group identity
+        itself, which serves any request issued under the group's own
+        name.  Mirrors :meth:`PolicyPartition.owns_querier
+        <repro.policy.store.PolicyPartition.owns_querier>` exactly.
+        """
+        with self._route_lock.read_locked():
+            ring = self._ring
+            targets = {ring.route(querier)}
+            if querier in self.store.groups:
+                targets |= {ring.route(m) for m in self.store.groups.members_of(querier)}
+            return sorted(targets)
+
+    def insert_policy(self, policy: Policy) -> Policy:
+        """Route one policy insert through the coordinator.
+
+        The write lands in the base store (single source of truth);
+        partition event relay delivers it to exactly the owning
+        shards — ``cluster_policy_fanout`` records the scatter width.
+        """
+        targets = self.owning_shards(policy.querier)
+        stamped = self.store.insert(policy)
+        self._tick("cluster_policy_writes")
+        self._tick("cluster_policy_fanout", len(targets))
+        return stamped
+
+    def insert_policies(self, policies: Iterable[Policy]) -> int:
+        count = 0
+        for policy in policies:
+            self.insert_policy(policy)
+            count += 1
+        return count
+
+    def delete_policy(self, policy_id: int) -> None:
+        policy = self.store.get(policy_id)
+        targets = self.owning_shards(policy.querier)
+        self.store.delete(policy_id)
+        self._tick("cluster_policy_writes")
+        self._tick("cluster_policy_fanout", len(targets))
+
+    def update_policy(self, policy: Policy) -> Policy:
+        old = self.store.get(policy.id)
+        targets = set(self.owning_shards(old.querier))
+        targets |= set(self.owning_shards(policy.querier))
+        stamped = self.store.update(policy)
+        self._tick("cluster_policy_writes")
+        self._tick("cluster_policy_fanout", len(targets))
+        return stamped
+
+    # ------------------------------------------------------ fault injection
+
+    def fail_shard(self, name: str) -> None:
+        """Mark a shard down: routing to it raises
+        :class:`~repro.common.errors.ShardUnavailableError` until
+        :meth:`restore_shard` (its queued work still drains)."""
+        self.shard(name).available = False
+
+    def restore_shard(self, name: str) -> None:
+        self.shard(name).available = True
+
+    # ----------------------------------------------------------- rebalance
+
+    def routable_queriers(self) -> set[Any]:
+        """The querier universe routing decisions range over: every
+        user identity with direct policies plus every member of a
+        group that has policies (group identities themselves are not
+        routed — their policies follow the members)."""
+        out: set[Any] = set()
+        groups = self.store.groups
+        for q in self.store.queriers():
+            if q in groups:
+                out |= set(groups.members_of(q))
+            else:
+                out.add(q)
+        return out
+
+    def replica_spec(self, backend_factory: Callable[[Database], Any] | None = None) -> ShardSpec:
+        """A fresh :class:`ShardSpec` replicating the coordinator's
+        data tier — the usual argument to :meth:`add_shard`."""
+        db = replicate_database(self.store.db)
+        return ShardSpec(db=db, backend=backend_factory(db) if backend_factory else None)
+
+    def add_shard(self, spec: ShardSpec, workers: int | None = None) -> RebalanceReport:
+        """Online scale-out: join one shard, migrating ~1/(N+1) of the
+        queriers onto it (hash-ring stability — no querier moves
+        between surviving shards)."""
+        with self._admin_lock:
+            if self._stopped:
+                raise ClusterError("cluster is stopped")
+            old_ring = self._ring
+            name = self._claim_name(spec, old_ring)
+            new_ring = old_ring.with_node(name)
+            shard = ClusterShard(
+                name,
+                spec,
+                self.store,
+                owns=lambda q, r=new_ring, n=name: r.route(q) == n,
+                workers=workers or self.workers_per_shard,
+                max_pending=self.max_pending,
+                max_batch=self.max_batch,
+                cost_model=self.cost_model,
+            )
+            if self._started:
+                shard.server.start()
+            return self._apply_assignment(
+                old_ring, new_ring, joining=shard, leaving=None
+            )
+
+    def remove_shard(self, name: str) -> RebalanceReport:
+        """Online scale-in: decommission one shard, migrating exactly
+        its queriers onto the survivors (no survivor-to-survivor
+        movement), then drain and stop it."""
+        with self._admin_lock:
+            if self._stopped:
+                raise ClusterError("cluster is stopped")
+            if name not in self._shards:
+                raise ClusterError(f"unknown shard {name!r}")
+            if len(self._shards) == 1:
+                raise ClusterError("cannot remove the last shard")
+            old_ring = self._ring
+            new_ring = old_ring.without_node(name)
+            return self._apply_assignment(
+                old_ring, new_ring, joining=None, leaving=self._shards[name]
+            )
+
+    def _apply_assignment(
+        self,
+        old_ring: HashRing,
+        new_ring: HashRing,
+        joining: ClusterShard | None,
+        leaving: ClusterShard | None,
+    ) -> RebalanceReport:
+        """Grow → swap → drain → shrink (see the module docstring)."""
+        survivors = [
+            shard
+            for shard in self._shards.values()
+            if leaving is None or shard.name != leaving.name
+        ]
+        # Phase 1 — grow: survivors own the union of old and new
+        # assignments, so requests admitted under either ring resolve
+        # their full policy set (extra queriers are harmless).
+        for shard in survivors:
+            shard.partition.set_ownership(
+                lambda q, n=shard.name, o=old_ring, r=new_ring: o.route(q) == n
+                or r.route(q) == n
+            )
+        # Phase 2 — swap: atomic reference replacement; the leaving
+        # shard stops receiving *new* traffic in the same critical
+        # section.
+        with self._route_lock.write_locked():
+            if joining is not None:
+                self._shards[joining.name] = joining
+            self._ring = new_ring
+            if leaving is not None:
+                leaving.available = False
+        # Phase 3 — drain stragglers, then shrink + invalidate.  A
+        # shard that fails to drain within the timeout keeps its
+        # *widened* (old ∪ new) ownership: stragglers stay exactly
+        # correct, at the cost of the shard observing migrated
+        # queriers' mutations until a later rebalance shrinks it —
+        # never shrink under a live straggler, which would silently
+        # serve it an emptied policy view.
+        shard_drained: dict[str, bool] = {}
+        affected = list(survivors) if leaving is None else [*survivors, leaving]
+        for shard in affected:
+            shard_drained[shard.name] = shard.server.wait_quiesced(
+                lambda key, n=shard.name, r=new_ring: r.route(key[0]) != n,
+                timeout=self.rebalance_timeout,
+            )
+        drained = all(shard_drained.values())
+        invalidated = 0
+        for shard in survivors:
+            if not shard_drained[shard.name]:
+                continue
+            doomed = {
+                q
+                for q in shard.cached_queriers()
+                if new_ring.route(q) != shard.name
+            }
+            shard.partition.set_ownership(
+                lambda q, n=shard.name, r=new_ring: r.route(q) == n
+            )
+            for querier in doomed:
+                invalidated += shard.invalidate_querier(querier)
+        if leaving is not None:
+            leaving.server.stop(drain=True)
+            leaving.partition.detach()
+            with self._route_lock.write_locked():
+                del self._shards[leaving.name]
+        universe = self.routable_queriers()
+        moved = old_ring.moved_keys(new_ring, universe)
+        self._tick("cluster_rebalance_moves", len(moved))
+        return RebalanceReport(
+            added=joining.name if joining is not None else None,
+            removed=leaving.name if leaving is not None else None,
+            moved_queriers=moved,
+            universe=len(universe),
+            invalidated_entries=invalidated,
+            drained=drained,
+        )
+
+    # ------------------------------------------------------------ accounting
+
+    def partition_sizes(self) -> dict[str, int]:
+        """Policies per shard partition — the ~1/N corpus share."""
+        with self._route_lock.read_locked():
+            shards = list(self._shards.values())
+        return {shard.name: len(shard.partition) for shard in shards}
+
+    def stats(self) -> ClusterStats:
+        with self._route_lock.read_locked():
+            shards = list(self._shards.values())
+        per_shard = {shard.name: shard.server.stats() for shard in shards}
+        partition_policies = {shard.name: len(shard.partition) for shard in shards}
+        with self._counter_lock:
+            counters = {
+                name: getattr(self._counters, name) for name in _CLUSTER_COUNTERS
+            }
+        return ClusterStats.merge(per_shard, partition_policies, counters)

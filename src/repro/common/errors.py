@@ -54,3 +54,18 @@ class ServiceOverloadedError(ServiceError):
 class ServiceStoppedError(ServiceError):
     """The request cannot run because the server is not accepting work
     (never started, stopping, or already stopped)."""
+
+
+class ClusterError(ServiceError):
+    """Failures of the sharded cluster tier (:mod:`repro.cluster`)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """The shard owning this querier is down (failed or removed).
+
+    Explicit backpressure, like
+    :class:`ServiceOverloadedError`: the coordinator refuses the
+    request immediately instead of queueing it against a dead shard —
+    callers should retry after the cluster is rebalanced or the shard
+    restored.  Counted in ``counters.cluster_unavailable``.
+    """

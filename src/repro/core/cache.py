@@ -417,6 +417,14 @@ class RewriteCache:
             self.stats.invalidations += len(doomed)
             return len(doomed)
 
+    def queriers(self) -> set[Any]:
+        """Distinct queriers with at least one memoized rewrite — the
+        cluster tier's rebalance sweeps these too (a querier can hold
+        rewrite entries without any guard-cache entry, e.g. when none
+        of its queried relations carried policies)."""
+        with self._lock:
+            return {key[0] for key in self._entries}
+
     def clear(self) -> int:
         with self._lock:
             count = len(self._entries)

@@ -40,6 +40,21 @@ deterministic proxy for it, and they carry zero cost weight so
 ``cost_units`` stays hardware-independent.  The server updates them
 under its own lock (plain ``+=`` from many workers would lose
 increments).
+
+``cluster_*`` counters track the sharded cluster tier
+(:mod:`repro.cluster`), charged to the *coordinator's* database (the
+one holding the base policy corpus) under the coordinator's lock:
+``cluster_requests`` (requests routed to a shard),
+``cluster_unavailable`` (requests refused because the owning shard is
+down — :class:`~repro.common.errors.ShardUnavailableError`
+backpressure), ``cluster_policy_writes`` /
+``cluster_policy_fanout`` (admin write operations routed, and the
+total shard deliveries they scattered to — a group policy fans out to
+every shard holding a member, so fanout ≥ writes), and
+``cluster_rebalance_moves`` (queriers migrated by hash-ring changes).
+All zero cost weight: routing is coordination, not engine work — the
+per-query engine cost lands on each shard's own counters, whose sum
+the differential suite holds identical to a single server's.
 """
 
 from __future__ import annotations
@@ -87,6 +102,11 @@ class CounterSet:
     service_failures: int = 0
     service_queue_wait_us: int = 0
     service_exec_us: int = 0
+    cluster_requests: int = 0
+    cluster_unavailable: int = 0
+    cluster_policy_writes: int = 0
+    cluster_policy_fanout: int = 0
+    cluster_rebalance_moves: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
 
     _COUNTER_NAMES = (
@@ -113,6 +133,11 @@ class CounterSet:
         "service_failures",
         "service_queue_wait_us",
         "service_exec_us",
+        "cluster_requests",
+        "cluster_unavailable",
+        "cluster_policy_writes",
+        "cluster_policy_fanout",
+        "cluster_rebalance_moves",
     )
 
     def reset(self) -> None:

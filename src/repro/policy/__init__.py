@@ -8,7 +8,7 @@ from repro.policy.model import (
     ANY_PURPOSE,
 )
 from repro.policy.groups import GroupDirectory
-from repro.policy.store import PolicySnapshot, PolicyStore
+from repro.policy.store import PolicyPartition, PolicySnapshot, PolicyStore
 from repro.policy.algebra import DenyRule, factor_deny
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "QuerierCondition",
     "ANY_PURPOSE",
     "GroupDirectory",
+    "PolicyPartition",
     "PolicySnapshot",
     "PolicyStore",
     "DenyRule",

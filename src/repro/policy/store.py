@@ -32,12 +32,20 @@ generation and the middleware's per-request planning read one
 consistent corpus view even while writers interleave (an ``update`` —
 internally delete + re-insert — can never be observed half-applied
 through a snapshot).
+
+Sharding (the cluster tier, :mod:`repro.cluster`):
+:meth:`PolicyStore.partition` carves querier-scoped
+:class:`PolicyPartition` views out of one corpus — each with its own
+epoch, listeners, snapshots, and targeted invalidation, advanced only
+by mutations that partition owns — so N shards each observe (and pay
+for) only ~1/N of the corpus and its churn.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import threading
 from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -132,6 +140,7 @@ class PolicyStore:
         self._insert_clock = itertools.count(1)
         self._listeners: list[Callable[[Policy], None]] = []
         self._mutation_listeners: list[tuple[Callable[..., None], bool]] = []
+        self._reset_listeners: list[Callable[[], None]] = []
         self._epoch = 0
         self._tables_memo: tuple[int, frozenset[str]] | None = None
         self._rwlock = RWLock()
@@ -203,6 +212,21 @@ class PolicyStore:
             if entry[0] is fn:
                 self._mutation_listeners.remove(entry)
                 return
+
+    def add_reset_listener(self, fn: Callable[[], None]) -> None:
+        """Called (with no arguments) after a wholesale corpus reset —
+        :meth:`reload_from_database` — which bumps the epoch *without*
+        firing per-policy mutation events.  Partition views hook this
+        to advance their own epochs; per-policy listeners cannot, since
+        a reload has no per-policy delta to report."""
+        self._reset_listeners.append(fn)
+
+    def remove_reset_listener(self, fn: Callable[[], None]) -> None:
+        """Deregister fn; no-op when absent."""
+        try:
+            self._reset_listeners.remove(fn)
+        except ValueError:
+            pass
 
     @property
     def epoch(self) -> int:
@@ -438,13 +462,32 @@ class PolicyStore:
             self._snapshot_memo = snap
             return snap
 
+    # ---------------------------------------------------------- partitioning
+
+    def partition(self, owns: Callable[[Any], bool], name: str = "") -> "PolicyPartition":
+        """A shard-scoped live view over this corpus (cluster tier).
+
+        ``owns(querier)`` decides which queriers the view contains; a
+        group-queried policy belongs to every partition owning at least
+        one member (see :class:`PolicyPartition`).  The view has its
+        *own* epoch, listeners, and snapshots, all advanced only by
+        mutations the partition can observe — the point of
+        querier-partitioned serving is that a write for shard A's
+        querier costs shard B nothing, not even a cache re-stamp."""
+        return PolicyPartition(self, owns, name=name)
+
     # ------------------------------------------------------------ reload
 
     def reload_from_database(self) -> int:
         """Rebuild the cache from the rP/rOC tables (crash-recovery path,
-        exercised by tests to prove persistence round-trips)."""
+        exercised by tests to prove persistence round-trips).  Fires the
+        reset listeners (outside the lock, like mutation events) so
+        partition views invalidate their own epochs too."""
         with self._rwlock.write_locked():
-            return self._reload_locked()
+            count = self._reload_locked()
+        for listener in list(self._reset_listeners):
+            listener()
+        return count
 
     def _reload_locked(self) -> int:
         self._by_id.clear()
@@ -498,3 +541,219 @@ class PolicyStore:
             return int(text)
         except (TypeError, ValueError):
             return text
+
+
+class PolicyPartition:
+    """One shard's live view of a :class:`PolicyStore` (cluster tier).
+
+    Created by :meth:`PolicyStore.partition`.  The partition exposes
+    the read/listener surface a :class:`~repro.core.middleware.Sieve`
+    consumes — ``snapshot()``, ``policies_for``, ``epoch``,
+    ``add_listener`` / ``add_mutation_listener`` — scoped to the
+    queriers an ownership predicate claims:
+
+    * a policy whose querier ``owns()`` claims belongs to the
+      partition;
+    * a policy naming a *group* belongs to every partition owning at
+      least one member — the fan-out that keeps a member's PQM filter
+      (which consults the querier's groups) correct on its home shard.
+
+    **Per-partition epochs.**  The partition registers one mutation
+    listener with the base store and forwards only events whose policy
+    it owns, bumping its *own* epoch per forwarded event.  Foreign
+    mutations leave the epoch untouched, so a shard's guard/rewrite
+    caches never even re-stamp for other shards' writes — corpus churn
+    costs each shard O(its share), which is the scaling argument of
+    the cluster tier.
+
+    **Membership changes** (:meth:`set_ownership`, used by cluster
+    rebalancing) refresh which queriers the view contains *without*
+    bumping the epoch: snapshots rebuild (the memo keys on a
+    membership generation), but surviving queriers' epoch-validated
+    cache entries stay warm.  Invalidation for *migrated* queriers is
+    the coordinator's job (targeted, per querier).
+
+    Writes still go through the base store (single source of truth for
+    rP/rOC persistence and policy ids); the coordinator routes them.
+    """
+
+    def __init__(self, base: PolicyStore, owns: Callable[[Any], bool], name: str = ""):
+        self.base = base
+        self.name = name
+        self.db = base.db
+        self.groups = base.groups
+        self._owns = owns
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._membership_gen = 0
+        self._snapshot_memo: tuple[tuple[int, int, int], PolicySnapshot] | None = None
+        self._listeners: list[Callable[[Policy], None]] = []
+        self._mutation_listeners: list[tuple[Callable[..., None], bool]] = []
+        self._detached = False
+        base.add_mutation_listener(self._on_base_event, with_epoch=True)
+        base.add_reset_listener(self._on_base_reset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PolicyPartition(name={self.name!r}, epoch={self._epoch})"
+
+    # ------------------------------------------------------------ membership
+
+    def owns_querier(self, querier: Any) -> bool:
+        """Does this partition serve ``querier`` (directly, or — for a
+        group identity — through any owned member)?"""
+        if self._owns(querier):
+            return True
+        if querier in self.groups:
+            return any(self._owns(m) for m in self.groups.members_of(querier))
+        return False
+
+    def owns_policy(self, policy: Policy) -> bool:
+        return self.owns_querier(policy.querier)
+
+    def set_ownership(self, owns: Callable[[Any], bool]) -> None:
+        """Swap the ownership predicate (cluster rebalance).
+
+        Deliberately does *not* bump the epoch: entries cached for
+        queriers owned both before and after stay valid (their policy
+        sets are untouched by a routing change), which is what makes a
+        hash-ring move invalidate only migrated queriers."""
+        with self._lock:
+            self._owns = owns
+            self._membership_gen += 1
+            self._snapshot_memo = None
+
+    def detach(self) -> None:
+        """Stop observing the base store (shard decommissioned)."""
+        with self._lock:
+            self._detached = True
+        self.base.remove_mutation_listener(self._on_base_event)
+        self.base.remove_reset_listener(self._on_base_reset)
+
+    # ----------------------------------------------------------- event relay
+
+    def _on_base_reset(self) -> None:
+        """Wholesale base reload: every partition view is stale.  Bump
+        the partition epoch (shard caches validated against it drop
+        their entries lazily, exactly like a single server's do against
+        the base epoch) without firing per-policy listeners — a reload
+        has no per-policy delta."""
+        with self._lock:
+            if self._detached:
+                return
+            self._epoch += 1
+            self._snapshot_memo = None
+
+    def _on_base_event(self, kind: str, policy: Policy, base_epoch: int) -> None:
+        del base_epoch  # partition listeners hear *partition* epochs
+        if not self.owns_policy(policy):
+            return
+        with self._lock:
+            if self._detached:
+                return
+            self._epoch += 1
+            epoch = self._epoch
+            self._snapshot_memo = None
+            listeners = list(self._listeners)
+            mutation_listeners = list(self._mutation_listeners)
+        # Dispatch outside the partition lock, mirroring the base
+        # store's contract: listeners may re-enter the partition.
+        for listener in listeners:
+            listener(policy)
+        for listener, wants_epoch in mutation_listeners:
+            if wants_epoch:
+                listener(kind, policy, epoch)
+            else:
+                listener(kind, policy)
+
+    # ---------------------------------------------- listener surface (Sieve)
+
+    def add_listener(self, fn: Callable[[Policy], None]) -> None:
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[Policy], None]) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
+
+    def add_mutation_listener(
+        self, fn: Callable[..., None], with_epoch: bool = False
+    ) -> None:
+        with self._lock:
+            self._mutation_listeners.append((fn, with_epoch))
+
+    def remove_mutation_listener(self, fn: Callable[..., None]) -> None:
+        with self._lock:
+            for entry in self._mutation_listeners:
+                if entry[0] is fn:
+                    self._mutation_listeners.remove(entry)
+                    return
+
+    # --------------------------------------------------------------- reads
+
+    @property
+    def epoch(self) -> int:
+        """Partition-local corpus version (see class docstring)."""
+        return self._epoch
+
+    def snapshot(self) -> PolicySnapshot:
+        """A consistent partition-scoped corpus view, memoized until
+        the next owned mutation / membership change / base reload.
+
+        Built by filtering the base store's (itself memoized) snapshot,
+        so the cost is O(partition size), and the returned snapshot's
+        ``epoch`` is the *partition* epoch — exactly what this shard's
+        caches validate against."""
+        base_snap = self.base.snapshot()
+        with self._lock:
+            key = (base_snap.epoch, self._membership_gen, self._epoch)
+            memo = self._snapshot_memo
+            if memo is not None and memo[0] == key:
+                return memo[1]
+            epoch = self._epoch
+        by_querier = {
+            q: ps for q, ps in base_snap.by_querier.items() if self.owns_querier(q)
+        }
+        snap = PolicySnapshot(
+            epoch=epoch,
+            groups=base_snap.groups,
+            by_querier=by_querier,
+            tables=frozenset(
+                p.table.lower() for ps in by_querier.values() for p in ps
+            ),
+        )
+        with self._lock:
+            # Memo only if nothing moved under us; a stale build is
+            # still a correct snapshot *at its stamped epoch* (the
+            # conservative-invalidation argument of the base store).
+            if (base_snap.epoch, self._membership_gen, self._epoch) == key:
+                self._snapshot_memo = (key, snap)
+        return snap
+
+    def policies_for(
+        self, querier: Any, purpose: str, table: str | None = None
+    ) -> list[Policy]:
+        """The PQM filter over the partitioned corpus.  Identical to
+        the base store's answer for any owned querier — the partition
+        holds the querier's direct policies and every group policy
+        whose group contains it."""
+        return self.snapshot().policies_for(querier, purpose, table)
+
+    def tables_with_policies(self) -> frozenset[str]:
+        return self.snapshot().tables_with_policies()
+
+    def all_policies(self) -> list[Policy]:
+        return [p for p in self.base.all_policies() if self.owns_policy(p)]
+
+    def queriers(self) -> list[Any]:
+        """Distinct owned identities with at least one policy."""
+        return [q for q in self.base.queriers() if self.owns_querier(q)]
+
+    def get(self, policy_id: int) -> Policy:
+        """Policy ids are corpus-global; delegate to the base store."""
+        return self.base.get(policy_id)
+
+    def __len__(self) -> int:
+        return len(self.snapshot())

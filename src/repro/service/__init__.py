@@ -15,9 +15,11 @@ load generator that drives it.
 """
 
 from repro.common.errors import (
+    ClusterError,
     ServiceError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    ShardUnavailableError,
 )
 from repro.service.admission import AdmissionQueue, Batch, ServiceRequest
 from repro.service.server import (
@@ -30,12 +32,14 @@ from repro.service.server import (
 __all__ = [
     "AdmissionQueue",
     "Batch",
+    "ClusterError",
     "LatencySummary",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceRequest",
     "ServiceStats",
     "ServiceStoppedError",
+    "ShardUnavailableError",
     "SieveServer",
     "percentile",
 ]

@@ -29,10 +29,11 @@ Three properties, all enforced here:
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.common.errors import ServiceOverloadedError, ServiceStoppedError
 
@@ -196,3 +197,36 @@ class AdmissionQueue:
     def depth_by_key(self) -> dict[SessionKey, int]:
         with self._cond:
             return {key: len(bucket) for key, bucket in self._by_key.items()}
+
+    def in_flight_keys(self) -> set[SessionKey]:
+        with self._cond:
+            return set(self._in_flight)
+
+    def wait_quiesced(
+        self, match: Callable[[SessionKey], bool], timeout: float | None = None
+    ) -> bool:
+        """Block until no queued *or in-flight* key satisfies ``match``.
+
+        The cluster tier's rebalance barrier: after a hash-ring swap,
+        requests for migrated queriers stop *arriving* at the old
+        shard, so waiting for the matching keys already admitted there
+        to drain terminates even under continuous load — unlike
+        waiting for the whole queue to empty.  Returns False on
+        timeout (matching work still pending).  ``match`` is called
+        under the queue lock; keep it cheap and non-reentrant.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                busy = any(match(key) for key in self._by_key) or any(
+                    match(key) for key in self._in_flight
+                )
+                if not busy:
+                    return True
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+                else:
+                    self._cond.wait()

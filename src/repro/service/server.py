@@ -110,10 +110,47 @@ class LatencySummary:
             p99_ms=percentile(ms, 99),
         )
 
+    @classmethod
+    def merge(cls, summaries: "Sequence[LatencySummary]") -> "LatencySummary":
+        """Combine per-shard summaries into one cluster-level summary
+        (:class:`~repro.cluster.ClusterStats`).
+
+        The mean is exact (count-weighted).  Percentiles of a merged
+        population are not recoverable from per-population percentiles
+        alone, so each quantile is the count-weighted average of the
+        inputs' — exact when shards have similar latency shapes (the
+        homogeneous-shard case the cluster is built for) and documented
+        as an approximation otherwise.
+        """
+        populated = [s for s in summaries if s.count]
+        total = sum(s.count for s in populated)
+        if not total:
+            return cls()
+
+        def weighted(attr: str) -> float:
+            return sum(getattr(s, attr) * s.count for s in populated) / total
+
+        return cls(
+            count=total,
+            mean_ms=weighted("mean_ms"),
+            p50_ms=weighted("p50_ms"),
+            p95_ms=weighted("p95_ms"),
+            p99_ms=weighted("p99_ms"),
+        )
+
 
 @dataclass
 class ServiceStats:
-    """One consistent snapshot of a server's accounting."""
+    """One consistent snapshot of a server's accounting.
+
+    ``guard_cache`` / ``rewrite_cache`` are
+    :meth:`~repro.core.cache.CacheStats.snapshot` dicts (``hits``,
+    ``misses``, ``evictions``, ``invalidations``, ``coalesced``,
+    ``hit_rate``) of the pipeline's two memoization tiers —
+    ``rewrite_cache`` is ``None`` when the middleware runs without one.
+    Serving dashboards read hit rates and rejection counts from here;
+    :class:`~repro.cluster.ClusterStats` aggregates them across shards.
+    """
 
     workers: int
     pending: int
@@ -123,10 +160,22 @@ class ServiceStats:
     failures: int
     latency: LatencySummary = field(default_factory=LatencySummary)
     queue_wait: LatencySummary = field(default_factory=LatencySummary)
+    guard_cache: dict[str, float] = field(default_factory=dict)
+    rewrite_cache: dict[str, float] | None = None
 
     @property
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def guard_cache_hit_rate(self) -> float:
+        return float(self.guard_cache.get("hit_rate", 0.0))
+
+    @property
+    def rewrite_cache_hit_rate(self) -> float:
+        if not self.rewrite_cache:
+            return 0.0
+        return float(self.rewrite_cache.get("hit_rate", 0.0))
 
 
 class SieveServer:
@@ -276,9 +325,29 @@ class SieveServer:
 
         All requests share the scheduling key, so the pool serves them
         as admission-queue batches through one warm session context.
+
+        **Ordering guarantee** (pinned by
+        ``tests/test_cluster.py::test_execute_many_preserves_submission_order``):
+        ``result[i]`` is the result of ``sqls[i]``, always — results
+        are collected from the submission-ordered futures, not in
+        completion order.  Execution order matches too: same-key
+        requests are FIFO within the admission queue (batches take
+        from the head, in arrival order) and the queue never hands one
+        key to two workers, so batching can split the sequence across
+        batches but never reorder or interleave it.
         """
         futures = [self.submit(sql, querier, purpose) for sql in sqls]
         return [future.result(timeout=timeout) for future in futures]
+
+    def wait_quiesced(
+        self, match: "Any" = None, timeout: float | None = None
+    ) -> bool:
+        """Block until no queued or in-flight scheduling key satisfies
+        ``match(key)`` (``None`` = any key, i.e. fully idle).  The
+        cluster tier's rebalance barrier — see
+        :meth:`~repro.service.admission.AdmissionQueue.wait_quiesced`.
+        Returns False on timeout."""
+        return self._queue.wait_quiesced(match or (lambda key: True), timeout=timeout)
 
     # --------------------------------------------------------------- workers
 
@@ -353,6 +422,7 @@ class SieveServer:
             batches = self._batches
             rejections = self._rejections
             failures = self._failures
+        rewrite_cache = self.sieve.rewrite_cache
         return ServiceStats(
             workers=self.workers,
             pending=self._queue.pending(),
@@ -362,4 +432,8 @@ class SieveServer:
             failures=failures,
             latency=LatencySummary.of_seconds(latency_s),
             queue_wait=LatencySummary.of_seconds(queue_wait_s),
+            guard_cache=self.sieve.guard_cache.stats.snapshot(),
+            rewrite_cache=(
+                rewrite_cache.stats.snapshot() if rewrite_cache is not None else None
+            ),
         )
