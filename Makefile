@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster docs-check
+.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit replay audit-oracle docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -36,6 +36,22 @@ bench-service:
 # policy-filter reduction, and writes repo-root BENCH_cluster.json.
 bench-cluster:
 	$(PYTHON) -m pytest benchmarks/bench_cluster.py -q --benchmark-only
+
+# The audit tier: <5% overhead ceiling on the Fig. 6 workload, 1k-query
+# replay fidelity (decisions + counters), cluster chain merge; writes
+# repo-root BENCH_audit.json.
+bench-audit:
+	$(PYTHON) -m pytest benchmarks/bench_audit.py -q --benchmark-only
+
+# Audit smoke: record -> tamper-check -> replay a 200-query Mall window
+# with mid-window policy churn (exits non-zero on any decision mismatch).
+replay:
+	$(PYTHON) tools/replay.py
+
+# The replay-verified differential suites (opt-in marker; tier-1
+# excludes them via pytest.ini addopts so the gate stays fast).
+audit-oracle:
+	$(PYTHON) -m pytest -q -m audit_oracle
 
 # The full benchmark suite (minutes; writes benchmarks/results/).
 bench:

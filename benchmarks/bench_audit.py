@@ -1,0 +1,219 @@
+"""Audit tier: overhead ceiling and replay fidelity (not a paper figure).
+
+Three acceptance claims for ``repro/audit`` on the Fig. 6 (Experiment
+5) Mall workload:
+
+* **overhead < 5%** — the audited middleware runs the same warm
+  workload within 5% of the unaudited one.  The decision record is
+  assembled from bookkeeping the middleware already computed plus one
+  digest pass over the result rows, and hashing is amortized per
+  flush, so the hot-path cost is O(1) per request.  Timing is
+  best-of-``ROUNDS`` with a few retry attempts: wall-clock ratios on a
+  shared host are noisy and the claim is about the floor, not the
+  scheduler.
+* **1k-query replay, bit-identical** — a 1000-query window with
+  mid-window policy churn records, chain-verifies, and replays against
+  its pinned epochs with 100% identical decisions *including* the
+  enforcement-counter deltas.
+* **cluster merge verifies** — an audited 3-shard cluster's per-shard
+  chains merge into one verifiable log holding exactly one record per
+  request.
+
+Results land in ``benchmarks/results/`` and the repo-root
+``BENCH_audit.json`` snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.audit import verify_merged
+from repro.bench.results import format_table, write_result
+from repro.bench.scenarios import mall_policies_for_shop
+from repro.cluster import SieveCluster
+from repro.core import Sieve
+from repro.datasets.mall import MallConfig, generate_mall
+from repro.policy.store import PolicyStore
+
+import replay as replay_tool  # benchmarks/conftest.py puts tools/ on sys.path
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+N_SHOPS = 6
+POLICIES_PER_SHOP = 150
+ROUNDS = 5
+MAX_ATTEMPTS = 3
+OVERHEAD_CEILING = 0.05
+WINDOW = 1000
+
+#: Fig. 6-style workload: enforcement + scan dominated, so the audit
+#: tier's per-request work (payload + digest) is measured against real
+#: engine time, not row marshalling.
+SQLS = [
+    "SELECT COUNT(*) FROM WiFi_Connectivity",
+    "SELECT owner, COUNT(*) FROM WiFi_Connectivity GROUP BY owner",
+    "SELECT COUNT(*) FROM WiFi_Connectivity WHERE ts_time BETWEEN 600 AND 1200",
+]
+
+
+def _mall_world(n_customers: int, days: int, seed: int = 13):
+    mall = generate_mall(
+        MallConfig(seed=seed, n_customers=n_customers, days=days, personality="postgres")
+    )
+    store = PolicyStore(mall.db, mall.groups)
+    shops = mall.shops[:N_SHOPS]
+    for shop in shops:
+        store.insert_many(mall_policies_for_shop(mall, shop, POLICIES_PER_SHOP))
+    return mall, store, shops
+
+
+def _workload(mall, shops):
+    return [(mall.shop_querier(shop), sql) for shop in shops for sql in SQLS]
+
+
+def _best_of(sieve: Sieve, workload, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for querier, sql in workload:
+            sieve.execute(sql, querier, "any")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_overhead():
+    """(plain_s, audited_s, overhead) for one attempt, fresh worlds so
+    neither run inherits the other's warm state asymmetrically."""
+    mall, store, shops = _mall_world(n_customers=500, days=15)
+    workload = _workload(mall, shops)
+    plain = Sieve(mall.db, store)
+    audited = Sieve(mall.db, store)
+    audited.enable_audit()
+    for sieve in (plain, audited):  # warm guards + plans off the clock
+        for querier, sql in workload:
+            sieve.execute(sql, querier, "any")
+    plain_s = _best_of(plain, workload, ROUNDS)
+    audited_s = _best_of(audited, workload, ROUNDS)
+    return plain_s, audited_s, audited_s / plain_s - 1.0
+
+
+def test_audit_overhead_and_replay_fidelity(benchmark):
+    results: dict = {}
+
+    def run():
+        results.clear()
+
+        # -- overhead ceiling (retry: the claim is about the floor) --
+        attempts = []
+        for _ in range(MAX_ATTEMPTS):
+            plain_s, audited_s, overhead = _measure_overhead()
+            attempts.append(
+                {"plain_s": plain_s, "audited_s": audited_s, "overhead": overhead}
+            )
+            if overhead < OVERHEAD_CEILING:
+                break
+        results["overhead_attempts"] = attempts
+        results["overhead"] = min(a["overhead"] for a in attempts)
+
+        # -- 1k-query window: record -> verify -> replay ------------
+        mall, store, shops = _mall_world(n_customers=150, days=8, seed=29)
+        sieve = Sieve(mall.db, store)
+        log = sieve.enable_audit()
+        workload = _workload(mall, shops)
+        victim = store.policies_for(
+            mall.shop_querier(shops[0]), "any", "WiFi_Connectivity"
+        )[0]
+        record_start = time.perf_counter()
+        for i in range(WINDOW):
+            if i == WINDOW // 3:
+                store.delete(victim.id)  # mid-window churn
+            if i == (2 * WINDOW) // 3:
+                store.insert(victim)
+            querier, sql = workload[i % len(workload)]
+            sieve.execute(sql, querier, "any")
+        record_s = time.perf_counter() - record_start
+        assert log.verify() == WINDOW
+        store.delete(victim.id)  # post-window churn: replay must not see it
+        store.insert(victim)
+        replay_start = time.perf_counter()
+        report = replay_tool.replay_records(log.records(), store)
+        replay_s = time.perf_counter() - replay_start
+        assert report.ok, report.describe()
+        assert report.replayed == WINDOW and report.counters_compared
+        results["window"] = {
+            "queries": WINDOW,
+            "epochs": report.epochs,
+            "matched": report.matched,
+            "record_s": round(record_s, 3),
+            "replay_s": round(replay_s, 3),
+        }
+
+        # -- audited cluster: merged chains verify ------------------
+        cluster = SieveCluster.replicated(
+            mall.db, store, n_shards=3, workers_per_shard=1, audit=True
+        )
+        n_requests = 0
+        with cluster:
+            for _ in range(3):
+                for querier, sql in workload:
+                    cluster.execute(sql, querier, "any", timeout=120)
+                    n_requests += 1
+        merged = cluster.merged_audit_records()
+        assert verify_merged(merged) == n_requests
+        results["cluster"] = {
+            "shards": 3,
+            "requests": n_requests,
+            "merged_records": len(merged),
+            "chains": sorted({r.chain for r in merged}),
+        }
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    best = min(results["overhead_attempts"], key=lambda a: a["overhead"])
+    rows = [
+        ["overhead (best)", f"{results['overhead'] * 100:.2f}%",
+         f"plain {best['plain_s'] * 1000:.1f} ms vs audited "
+         f"{best['audited_s'] * 1000:.1f} ms, best of {ROUNDS} rounds"],
+        ["replay window", f"{results['window']['matched']}/{WINDOW}",
+         f"{len(results['window']['epochs'])} pinned epochs, "
+         f"record {results['window']['record_s']}s, "
+         f"replay {results['window']['replay_s']}s"],
+        ["cluster merge", f"{results['cluster']['merged_records']} records",
+         f"{results['cluster']['shards']} shard chains, all verified"],
+    ]
+    write_result(
+        "audit_overhead_replay",
+        "Audit tier — overhead ceiling and replay fidelity (Fig. 6 workload)",
+        format_table(["check", "result", "detail"], rows),
+        data=results,
+        notes=(
+            f"Audited middleware must stay within {OVERHEAD_CEILING:.0%} of the "
+            f"unaudited one on the warm Fig. 6 Mall workload (best of {ROUNDS} "
+            f"rounds, up to {MAX_ATTEMPTS} attempts); a {WINDOW}-query window "
+            "with mid-window policy churn replays 100% bit-identically "
+            "(decisions AND enforcement-counter deltas) against its pinned "
+            "epochs; an audited 3-shard cluster's per-shard chains merge into "
+            "one verifiable log with exactly one record per request."
+        ),
+    )
+    payload = {
+        "workload": "fig6-mall-audit",
+        "overhead": round(results["overhead"], 4),
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "overhead_attempts": [
+            {k: round(v, 4) for k, v in a.items()} for a in results["overhead_attempts"]
+        ],
+        "replay_window": results["window"],
+        "cluster": results["cluster"],
+    }
+    (REPO_ROOT / "BENCH_audit.json").write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert results["overhead"] < OVERHEAD_CEILING, (
+        f"audited overhead {results['overhead']:.1%} exceeds the "
+        f"{OVERHEAD_CEILING:.0%} ceiling in every attempt"
+    )
+    assert results["window"]["matched"] == WINDOW
+    assert len(results["window"]["epochs"]) >= 3

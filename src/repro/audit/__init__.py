@@ -1,0 +1,62 @@
+"""repro.audit — the audit & explainability tier.
+
+Three pieces, layered over the middleware without touching its
+enforcement semantics:
+
+* :mod:`repro.audit.record` — :class:`DecisionRecord`, the blake2b
+  hash-chained unit of evidence (querier, purpose, policy epoch,
+  strategies, guards fired, rows admitted/denied, enforcement-counter
+  deltas), and :func:`verify_chain`;
+* :mod:`repro.audit.log` — :class:`AuditLog`, the append-only chain
+  with lock-free per-worker buffers flushed by the serving tier, plus
+  :func:`merge_records` / :func:`verify_merged` for per-shard cluster
+  chains;
+* :mod:`repro.audit.explain` — row-level decision traces built from
+  the already-materialized guard structures (surfaced as
+  ``Sieve.explain_denial`` / ``Sieve.explain_admission``).
+
+Replay lives in ``tools/replay.py``: a logged window re-executes
+against its pinned policy epochs
+(:meth:`~repro.policy.store.PolicyStore.snapshot_at`) and must
+reproduce bit-identical decisions and counters.
+"""
+
+from repro.audit.explain import (
+    ConditionTrace,
+    Explanation,
+    GuardTrace,
+    PolicyTrace,
+    explain_row,
+)
+from repro.audit.log import AuditLog, merge_records, verify_merged
+from repro.audit.record import (
+    AUDIT_COUNTERS,
+    GENESIS_HASH,
+    DecisionRecord,
+    canonical_json,
+    canonicalize,
+    make_payload,
+    record_hash,
+    result_digest,
+    verify_chain,
+)
+
+__all__ = [
+    "AUDIT_COUNTERS",
+    "AuditLog",
+    "ConditionTrace",
+    "DecisionRecord",
+    "Explanation",
+    "GENESIS_HASH",
+    "GuardTrace",
+    "PolicyTrace",
+    "canonical_json",
+    "canonicalize",
+    "explain_row",
+    "make_payload",
+    "merge_records",
+    "record_hash",
+    "result_digest",
+    "verify_chain",
+    "verify_merged",
+]

@@ -1,0 +1,268 @@
+"""Row-level decision explanation ("why was this row denied?").
+
+Explanations are built from the *already-materialized* guard
+structures — the same :class:`~repro.core.guards.GuardedExpression`
+the rewrite enforces with, fetched through the session guard cache —
+so what an explanation names is exactly what the enforcement path
+evaluated, not a parallel re-derivation that could drift.
+
+For one (querier, purpose, relation, row):
+
+* each guard's indexable condition is evaluated on the row
+  (:class:`GuardTrace`);
+* each policy grouped under a matching guard has its full object-
+  condition conjunction evaluated (:class:`PolicyTrace`), with the
+  per-condition verdicts retained — the first failing condition is
+  the paper's answer to "why not";
+* the row is **admitted** iff at least one policy matches (opt-out
+  default-deny, Section 3.1: no applicable policies ⇒ denied).
+
+Derived-value conditions (scalar subqueries) are evaluated through
+the bundled engine when the subquery is self-contained; a correlated
+or otherwise unevaluable subquery yields ``matched=None``
+(*indeterminate*) and the policy conservatively does not count as
+matching — the explanation says so rather than guessing.
+
+Note the scope: explanations cover *policy admission* of a row, the
+part Sieve decides.  A query's own WHERE predicates are orthogonal
+filtering and are not part of "was this row denied by access
+control".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.audit.record import canonicalize
+from repro.common.errors import ExecutionError, ReproError
+from repro.expr.eval import ExprCompiler, RowBinding
+from repro.policy.model import Policy
+
+
+@dataclass(frozen=True)
+class ConditionTrace:
+    """One object condition's verdict on the row (None = indeterminate)."""
+
+    condition: str
+    matched: bool | None
+
+
+@dataclass(frozen=True)
+class PolicyTrace:
+    """One policy's verdict: the conjunction of its condition traces."""
+
+    policy_id: int
+    owner: Any
+    matched: bool
+    conditions: tuple[ConditionTrace, ...]
+
+    @property
+    def failed_conditions(self) -> tuple[ConditionTrace, ...]:
+        return tuple(c for c in self.conditions if c.matched is not True)
+
+
+@dataclass(frozen=True)
+class GuardTrace:
+    """One guard's verdict plus the policies it groups."""
+
+    guard_key: str
+    condition: str
+    matched: bool
+    policies: tuple[PolicyTrace, ...]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The full decision trace for one (querier, purpose, table, row)."""
+
+    querier: Any
+    purpose: str
+    table: str
+    row: Mapping[str, Any]
+    admitted: bool
+    reason: str
+    guards: tuple[GuardTrace, ...] = ()
+    policies_considered: int = 0
+
+    @property
+    def matched_policies(self) -> tuple[int, ...]:
+        """Ids of the policies that admit the row (sorted)."""
+        return tuple(
+            sorted(
+                {
+                    p.policy_id
+                    for g in self.guards
+                    for p in g.policies
+                    if p.matched
+                }
+            )
+        )
+
+    @property
+    def matched_guards(self) -> tuple[str, ...]:
+        return tuple(g.guard_key for g in self.guards if g.matched)
+
+    def describe(self) -> str:
+        """A human-readable multi-line account of the decision."""
+        lines = [
+            f"{'ADMITTED' if self.admitted else 'DENIED'}: querier={self.querier!r} "
+            f"purpose={self.purpose!r} table={self.table!r}",
+            f"  {self.reason}",
+        ]
+        for guard in self.guards:
+            mark = "✓" if guard.matched else "✗"
+            lines.append(f"  guard {mark} [{guard.guard_key}] {guard.condition}")
+            for trace in guard.policies:
+                pmark = "✓" if trace.matched else "✗"
+                lines.append(
+                    f"    policy {pmark} #{trace.policy_id} (owner={trace.owner!r})"
+                )
+                for cond in trace.conditions:
+                    cmark = {True: "✓", False: "✗", None: "?"}[cond.matched]
+                    lines.append(f"      {cmark} {cond.condition}")
+        return "\n".join(lines)
+
+
+def normalize_row(
+    row: "Mapping[str, Any] | Sequence[Any]", columns: Sequence[str]
+) -> tuple[Any, ...]:
+    """Accept a row as a mapping (any key casing) or a schema-ordered
+    sequence; return the schema-ordered tuple the compiled expressions
+    index into."""
+    if isinstance(row, Mapping):
+        lowered = {str(k).lower(): v for k, v in row.items()}
+        missing = [c for c in columns if c.lower() not in lowered]
+        if missing:
+            raise ReproError(
+                f"row is missing column(s) {missing} required to explain the decision"
+            )
+        return tuple(lowered[c.lower()] for c in columns)
+    values = tuple(row)
+    if len(values) != len(columns):
+        raise ReproError(
+            f"row has {len(values)} values but the relation has {len(columns)} columns"
+        )
+    return values
+
+
+def _scalar_subquery_fn(db):
+    """Evaluate self-contained scalar subqueries through the engine;
+    correlated ones surface as ExecutionError → indeterminate."""
+    if db is None:
+        return None
+
+    def run(select, _outer_row):
+        result = db.execute(select)
+        if len(result.rows) != 1 or len(result.rows[0]) != 1:
+            raise ExecutionError("derived value did not produce one scalar")
+        return result.rows[0][0]
+
+    return run
+
+
+def explain_row(
+    *,
+    querier: Any,
+    purpose: str,
+    table: str,
+    columns: Sequence[str],
+    row: "Mapping[str, Any] | Sequence[Any]",
+    policies: Sequence[Policy],
+    expression,
+    db=None,
+) -> Explanation:
+    """Build the decision trace (see module docstring).
+
+    ``expression`` is the materialized
+    :class:`~repro.core.guards.GuardedExpression` (None when the
+    querier holds no applicable policies — the default-deny case);
+    ``policies`` is the PQM-filtered policy list it was built from.
+    """
+    values = normalize_row(row, columns)
+    row_view = {c: v for c, v in zip(columns, values)}
+    if expression is None or not policies:
+        return Explanation(
+            querier=querier,
+            purpose=purpose,
+            table=table,
+            row=row_view,
+            admitted=False,
+            reason=(
+                f"default deny: querier {querier!r} holds no applicable policies "
+                f"on {table!r} for purpose {purpose!r} (opt-out semantics)"
+            ),
+        )
+
+    binding = RowBinding.for_table(table, list(columns))
+    compiler = ExprCompiler(binding, subquery_fn=_scalar_subquery_fn(db))
+    by_id = {p.id: p for p in policies}
+
+    def eval_expr(expr) -> bool | None:
+        try:
+            return bool(compiler.compile(expr)(values))
+        except ReproError:
+            return None  # derived/correlated condition: indeterminate
+
+    guards: list[GuardTrace] = []
+    indeterminate = 0
+    for i, guard in enumerate(expression.guards):
+        guard_matched = eval_expr(guard.condition.to_expr()) is True
+        traces: list[PolicyTrace] = []
+        for pid in sorted(guard.policy_ids):
+            policy = by_id.get(pid)
+            if policy is None:
+                continue
+            cond_traces = tuple(
+                ConditionTrace(condition=str(oc), matched=eval_expr(oc.to_expr()))
+                for oc in policy.object_conditions
+            )
+            if any(c.matched is None for c in cond_traces):
+                indeterminate += 1
+            traces.append(
+                PolicyTrace(
+                    policy_id=pid,
+                    owner=policy.owner,
+                    matched=all(c.matched is True for c in cond_traces),
+                    conditions=cond_traces,
+                )
+            )
+        guards.append(
+            GuardTrace(
+                guard_key=expression.guard_key(i),
+                condition=str(guard.condition),
+                matched=guard_matched,
+                policies=tuple(traces),
+            )
+        )
+
+    matched = sorted(
+        {t.policy_id for g in guards for t in g.policies if t.matched}
+    )
+    admitted = bool(matched)
+    if admitted:
+        reason = (
+            f"admitted by {len(matched)} polic{'y' if len(matched) == 1 else 'ies'} "
+            f"{matched} via guard(s) "
+            f"{[g.guard_key for g in guards if g.matched and any(t.matched for t in g.policies)]}"
+        )
+    else:
+        reason = (
+            f"denied: none of the {len(policies)} applicable policies' object "
+            f"conditions hold on this row"
+        )
+        if indeterminate:
+            reason += (
+                f" ({indeterminate} polic{'y' if indeterminate == 1 else 'ies'} "
+                f"with derived conditions could not be evaluated standalone)"
+            )
+    return Explanation(
+        querier=querier,
+        purpose=purpose,
+        table=table,
+        row=canonicalize(row_view),
+        admitted=admitted,
+        reason=reason,
+        guards=tuple(guards),
+        policies_considered=len(policies),
+    )

@@ -63,6 +63,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.audit import AuditLog, DecisionRecord, merge_records
 from repro.common.concurrency import RWLock
 from repro.common.errors import ClusterError, ShardUnavailableError
 from repro.core.cost_model import SieveCostModel
@@ -117,13 +118,22 @@ class ClusterShard:
         max_pending: int,
         max_batch: int,
         cost_model: SieveCostModel | None = None,
+        audit: bool = False,
     ):
         self.name = name
         self.db = spec.db
         self.backend = spec.backend
         self.partition = store.partition(owns, name=name)
+        # Per-shard audit chain, chain id = shard name: decisions made
+        # here chain here, on this shard's own counters, so chains stay
+        # lock-disjoint across shards and merge without re-hashing.
+        self.audit_log = AuditLog(chain_id=name) if audit else None
         self.sieve = Sieve(
-            self.db, self.partition, cost_model=cost_model, backend=self.backend
+            self.db,
+            self.partition,
+            cost_model=cost_model,
+            backend=self.backend,
+            audit=self.audit_log,
         )
         self.server = SieveServer(
             self.sieve, workers=workers, max_pending=max_pending, max_batch=max_batch
@@ -278,10 +288,12 @@ class SieveCluster:
         max_batch: int = 16,
         rebalance_timeout: float = DEFAULT_REBALANCE_TIMEOUT_S,
         cost_model: SieveCostModel | None = None,
+        audit: bool = False,
     ):
         if not specs:
             raise ClusterError("a cluster needs at least one shard")
         self.store = store
+        self.audit_enabled = audit
         self.workers_per_shard = workers_per_shard
         self.max_pending = max_pending
         self.max_batch = max_batch
@@ -359,6 +371,7 @@ class SieveCluster:
             max_pending=self.max_pending,
             max_batch=self.max_batch,
             cost_model=self.cost_model,
+            audit=self.audit_enabled,
         )
 
     def _tick(self, counter: str, amount: int = 1) -> None:
@@ -581,6 +594,7 @@ class SieveCluster:
                 max_pending=self.max_pending,
                 max_batch=self.max_batch,
                 cost_model=self.cost_model,
+                audit=self.audit_enabled,
             )
             if self._started:
                 shard.server.start()
@@ -680,6 +694,31 @@ class SieveCluster:
             invalidated_entries=invalidated,
             drained=drained,
         )
+
+    # ----------------------------------------------------------------- audit
+
+    def audit_logs(self) -> dict[str, AuditLog]:
+        """The live per-shard decision chains (cluster built with
+        ``audit=True``); chain id = shard name."""
+        with self._route_lock.read_locked():
+            shards = list(self._shards.values())
+        return {
+            shard.name: shard.audit_log
+            for shard in shards
+            if shard.audit_log is not None
+        }
+
+    def merged_audit_records(self) -> "list[DecisionRecord]":
+        """One deterministic, verifiability-preserving merged log.
+
+        Each per-shard chain is verified against its live head, then
+        records interleave by ``(chain, seq)`` — see
+        :func:`~repro.audit.merge_records`.  The merge is re-checkable
+        with :func:`~repro.audit.verify_merged` because every record
+        keeps its shard chain id: the merged sequence re-partitions
+        into the original intact chains.
+        """
+        return merge_records(self.audit_logs().values())
 
     # ------------------------------------------------------------ accounting
 

@@ -39,6 +39,20 @@ class SieveError(ReproError):
     """Failures specific to the Sieve middleware layer."""
 
 
+class AuditError(SieveError):
+    """Failures of the audit tier (:mod:`repro.audit`): malformed
+    records, replay against a non-retained policy epoch, etc."""
+
+
+class ChainVerificationError(AuditError):
+    """A hash-chained decision log failed verification.
+
+    Raised by ``verify_chain`` when a record was tampered with,
+    reordered, dropped, or the chain head does not match — the log can
+    no longer attest to the decisions it claims were made.
+    """
+
+
 class ServiceError(SieveError):
     """Failures of the concurrent serving tier (:mod:`repro.service`)."""
 

@@ -315,7 +315,16 @@ DEFAULT_REWRITE_CACHE_CAPACITY = 256
 
 @dataclass
 class CachedRewrite:
-    """One memoized enforcement rewrite (serving-tier hot path)."""
+    """One memoized enforcement rewrite (serving-tier hot path).
+
+    ``info`` is the original rewrite's full bookkeeping — strategy
+    decisions, guard keys, denied tables — so downstream consumers of
+    a cache hit (the audit tier's
+    :class:`~repro.audit.DecisionRecord` in particular) observe the
+    exact same decision content as the cold path that built the entry.
+    Cache transparency of audit records is asserted by
+    ``tests/test_session_cache.py`` and the replay oracle.
+    """
 
     rewritten: "Query"
     info: Any  # RewriteInfo (not imported: cycle with core.rewriter)

@@ -55,6 +55,8 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.audit import AuditLog, Explanation, explain_row, make_payload, result_digest
+from repro.common.errors import SieveError
 from repro.core.cache import (
     DEFAULT_GUARD_CACHE_CAPACITY,
     DEFAULT_REWRITE_CACHE_CAPACITY,
@@ -107,6 +109,11 @@ class SieveExecution:
     #: database-wide mode; individual plan subtrees may still have run
     #: tuple-at-a-time via the per-node fallback rules.
     engine: str = ""
+    #: The policy epoch this request planned against — the epoch of the
+    #: :class:`~repro.policy.store.PolicySnapshot` taken at admission
+    #: (a partition-local epoch when serving from a cluster shard).
+    #: The audit tier records it so replay can pin the same corpus view.
+    policy_epoch: int = -1
 
 
 class Sieve:
@@ -121,6 +128,7 @@ class Sieve:
         guard_cache_capacity: int = DEFAULT_GUARD_CACHE_CAPACITY,
         backend=None,
         rewrite_cache_capacity: int = 0,
+        audit: AuditLog | None = None,
     ):
         self.db = db
         self.policy_store = policy_store
@@ -136,6 +144,11 @@ class Sieve:
             if rewrite_cache_capacity
             else None
         )
+        # Optional audit tier (repro.audit): every execution appends a
+        # hash-chained DecisionRecord.  None = off (zero cost).
+        self.audit: AuditLog | None = None
+        if audit is not None:
+            self.enable_audit(audit)
         # Optional real-DBMS execution tier (repro.backend).  The whole
         # middleware pipeline — PQM filter, guard cache, strategy,
         # rewrite, Δ registration — is unchanged; only the final
@@ -180,6 +193,27 @@ class Sieve:
         stateless views over the shared guard cache, so they are cheap
         to create and any number may coexist."""
         return SieveSession(self, querier, purpose)
+
+    def enable_audit(self, log: AuditLog | None = None) -> AuditLog:
+        """Attach an append-only decision log (idempotent).
+
+        Binds the log's bookkeeping counters to this database's and
+        enables snapshot retention on the policy store so every epoch a
+        record names stays replayable
+        (:meth:`~repro.policy.store.PolicyStore.snapshot_at`).  From
+        here on every ``execute_with_info`` chains one
+        :class:`~repro.audit.DecisionRecord` — cache hits and cold
+        misses alike, since the record is built from the
+        :class:`~repro.core.rewriter.RewriteInfo` both paths share.
+        """
+        if self.audit is None:
+            self.audit = log if log is not None else AuditLog()
+            if self.audit.counters is None:
+                self.audit.counters = self.db.counters
+            retain = getattr(self.policy_store, "retain_snapshots", None)
+            if retain is not None:
+                retain()
+        return self.audit
 
     def enable_rewrite_cache(
         self, capacity: int = DEFAULT_REWRITE_CACHE_CAPACITY
@@ -307,6 +341,7 @@ class Sieve:
                     metadata=metadata,
                     policies_considered=cached.policies_considered,
                     middleware_ms=(time.perf_counter() - start) * 1000.0,
+                    policy_epoch=snapshot.epoch,
                 )
                 return execution, cached.rewritten
 
@@ -364,6 +399,7 @@ class Sieve:
             policies_considered=policies_considered,
             regenerated_tables=regenerated,
             middleware_ms=middleware_ms,
+            policy_epoch=snapshot.epoch,
         )
         return execution, rewritten
 
@@ -378,6 +414,13 @@ class Sieve:
 
     def execute_with_info(self, sql: str | Query, querier: Any, purpose: str) -> SieveExecution:
         execution, rewritten = self._prepare(sql, querier, purpose)
+        # Audit scopes its counter delta around *execution only*:
+        # guard generation / strategy / rewrite charge no enforcement
+        # counters, so the recorded delta is identical for cache-hit
+        # and cold paths — the cache-transparency the replay oracle
+        # depends on.  Snapshot/diff is a fixed-size dict pass over
+        # repro.db.counters, so the hot-path cost stays O(1).
+        before = self.db.counters.snapshot() if self.audit is not None else None
         if self.backend is not None:
             # RewriteInfo.sql is already printed in the backend's
             # dialect by the rewriter — exactly the text the engine
@@ -397,10 +440,130 @@ class Sieve:
             execution.engine = (
                 "vectorized" if getattr(self.db, "vectorized", False) else "tuple"
             )
+        if before is not None:
+            self._record_decision(sql, execution, self.db.counters.diff(before))
         return execution
+
+    def _record_decision(
+        self, sql: str | Query, execution: SieveExecution, delta: dict[str, int]
+    ) -> None:
+        """Chain one DecisionRecord for a finished execution."""
+        info = execution.rewrite
+        rows = execution.result.rows
+        denied = max(0, delta["tuples_scanned"] - delta["tuples_output"])
+        payload = make_payload(
+            querier=execution.metadata.querier,
+            purpose=execution.metadata.purpose,
+            sql=sql if isinstance(sql, str) else to_sql(sql),
+            policy_epoch=execution.policy_epoch,
+            engine=execution.engine,
+            strategies={
+                table: decision.strategy.value
+                for table, decision in info.decisions.items()
+            },
+            guards_fired=info.guard_keys,
+            delta_guards={
+                table: sorted(decision.delta_guards)
+                for table, decision in info.decisions.items()
+            },
+            denied_tables=info.denied_tables,
+            rows_admitted=len(rows),
+            rows_denied=denied,
+            digest=result_digest(rows),
+            counters=delta,
+        )
+        self.audit.record(payload)
 
     def rewritten_sql(self, sql: str | Query, querier: Any, purpose: str) -> str:
         """The enforcement rewrite as SQL text (for inspection/docs) —
         printed in the backend's dialect when one is attached, i.e.
         exactly the text the executing engine will see."""
         return to_sql(self.rewrite(sql, querier, purpose), dialect=self.rewriter.dialect)
+
+    # ------------------------------------------------------------ explanation
+
+    def _explain_table(self, target: str | Query) -> str:
+        """Resolve an explain target — a bare table name, or a query
+        whose (single) policy-protected relation is meant."""
+        if isinstance(target, str) and self.db.catalog.has_table(target):
+            return self.db.catalog.table(target).name
+        query = parse_query(target) if isinstance(target, str) else target
+        names = collect_table_names(query)
+        protected = sorted(names & self.policy_store.snapshot().tables_with_policies())
+        if len(protected) == 1:
+            return protected[0]
+        if not protected and len(names) == 1:
+            return next(iter(names))  # explanation will report default deny
+        raise SieveError(
+            f"cannot pick the relation to explain: query references "
+            f"{sorted(names)} with {len(protected)} policy-protected "
+            f"relation(s); pass the table name directly"
+        )
+
+    def explain_decision(
+        self, querier: Any, target: str | Query, row, purpose: str
+    ) -> Explanation:
+        """Why this row is admitted/denied for (querier, purpose).
+
+        ``target`` is a relation name or a query over exactly one
+        policy-protected relation; ``row`` is a full tuple of that
+        relation (schema-ordered sequence, or a mapping by column
+        name).  The trace is built from the *same* guard structures
+        the enforcement rewrite uses — resolved through the session
+        guard cache against the current policy snapshot — so the named
+        guards and policies are the ones a query right now would be
+        rewritten with (see :mod:`repro.audit.explain`).
+        """
+        table = self._explain_table(target)
+        snapshot = self.policy_store.snapshot()
+        protected = snapshot.tables_with_policies()
+        heap = self.db.catalog.table(table)
+        if table.lower() in protected:
+            entry, _rebuilt = self.session(querier, purpose).resolve(
+                table.lower(), snapshot=snapshot
+            )
+            policies, expression = entry.policies, entry.expression
+        else:
+            policies, expression = [], None
+        return explain_row(
+            querier=querier,
+            purpose=purpose,
+            table=heap.name,
+            columns=list(heap.schema.names),
+            row=row,
+            policies=policies,
+            expression=expression,
+            db=self.db,
+        )
+
+    def explain_denial(
+        self, querier: Any, query: str | Query, row, purpose: str
+    ) -> Explanation:
+        """Explain why ``row`` is **denied** — names the guards whose
+        conditions fail and, per policy, the first object condition
+        that does not hold.  Raises
+        :class:`~repro.common.errors.SieveError` if the row is in fact
+        admitted (the caller is asking the wrong question, and an
+        explanation of the opposite verdict would mislead)."""
+        explanation = self.explain_decision(querier, query, row, purpose)
+        if explanation.admitted:
+            raise SieveError(
+                f"row is admitted for querier {querier!r} by policies "
+                f"{list(explanation.matched_policies)}; use explain_admission"
+            )
+        return explanation
+
+    def explain_admission(
+        self, querier: Any, query: str | Query, row, purpose: str
+    ) -> Explanation:
+        """Explain why ``row`` is **admitted** — names the matching
+        policies and the guards that fired.  Raises
+        :class:`~repro.common.errors.SieveError` if the row is in fact
+        denied."""
+        explanation = self.explain_decision(querier, query, row, purpose)
+        if not explanation.admitted:
+            raise SieveError(
+                f"row is denied for querier {querier!r} ({explanation.reason}); "
+                f"use explain_denial"
+            )
+        return explanation

@@ -76,6 +76,12 @@ class RewriteInfo:
     decisions: dict[str, StrategyDecision] = field(default_factory=dict)
     denied_tables: list[str] = field(default_factory=list)
     sql: str = ""
+    #: table -> guard keys materialized into its enforcement CTE, in
+    #: guard order.  The audit tier records these; keeping them on the
+    #: RewriteInfo makes audit records identical whether the rewrite
+    #: came fresh or from the serving tier's rewrite cache (a cached
+    #: rewrite carries its original info, guard keys included).
+    guard_keys: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
 
 def collect_table_names(query: Query) -> set[str]:
@@ -270,6 +276,9 @@ class SieveRewriter:
             new_ctes.append(CTE(cte_name, Query(body=body)))
             replacements[table_name.lower()] = cte_name
             info.enforced_tables[table_name] = cte_name
+            info.guard_keys[table_name] = tuple(
+                expression.guard_key(i) for i in range(len(expression.guards))
+            )
 
         rewritten = self._replace_tables(query, replacements)
         rewritten.ctes = new_ctes + rewritten.ctes

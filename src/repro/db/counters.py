@@ -41,6 +41,15 @@ deterministic proxy for it, and they carry zero cost weight so
 under its own lock (plain ``+=`` from many workers would lose
 increments).
 
+``audit_records`` / ``audit_flushes`` track the audit tier
+(:mod:`repro.audit`): decision records chained into an
+:class:`~repro.audit.AuditLog` and buffer flushes that chained them
+(a direct, unbuffered append counts as a flush of one).  Zero cost
+weight — audit is accounting *about* enforcement, not enforcement
+work — and deliberately excluded from the enforcement counters the
+differential suites compare, so an audited run's enforcement deltas
+are bit-identical to an unaudited run's.
+
 ``cluster_*`` counters track the sharded cluster tier
 (:mod:`repro.cluster`), charged to the *coordinator's* database (the
 one holding the base policy corpus) under the coordinator's lock:
@@ -107,6 +116,8 @@ class CounterSet:
     cluster_policy_writes: int = 0
     cluster_policy_fanout: int = 0
     cluster_rebalance_moves: int = 0
+    audit_records: int = 0
+    audit_flushes: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
 
     _COUNTER_NAMES = (
@@ -138,6 +149,8 @@ class CounterSet:
         "cluster_policy_writes",
         "cluster_policy_fanout",
         "cluster_rebalance_moves",
+        "audit_records",
+        "audit_flushes",
     )
 
     def reset(self) -> None:

@@ -128,6 +128,39 @@ class PolicySnapshot:
         return sum(len(ps) for ps in self.by_querier.values())
 
 
+class SnapshotArchive:
+    """Epoch-keyed retention of :class:`PolicySnapshot` views.
+
+    The audit tier's epoch pinning (``tools/replay.py``): while
+    retention is enabled, every snapshot the store hands out is also
+    archived under its epoch, so a logged decision's corpus view can
+    be recovered *after* later mutations replaced the live memo.
+    Snapshots are immutable and share policy tuples, so the archive
+    holds O(epochs retained) dicts, not O(epochs × policies) copies;
+    ``limit`` bounds it FIFO when a long-running server wants a cap.
+    """
+
+    def __init__(self, limit: int | None = None):
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._snapshots: dict[int, PolicySnapshot] = {}
+
+    def record(self, snapshot: PolicySnapshot) -> None:
+        with self._lock:
+            self._snapshots.setdefault(snapshot.epoch, snapshot)
+            if self.limit is not None:
+                while len(self._snapshots) > self.limit:
+                    del self._snapshots[min(self._snapshots)]
+
+    def get(self, epoch: int) -> PolicySnapshot | None:
+        with self._lock:
+            return self._snapshots.get(epoch)
+
+    def epochs(self) -> list[int]:
+        with self._lock:
+            return sorted(self._snapshots)
+
+
 class PolicyStore:
     """Policies persisted in the database plus a querier-keyed cache."""
 
@@ -146,6 +179,7 @@ class PolicyStore:
         self._rwlock = RWLock()
         self._pending_events: list[tuple[str, Policy]] = []
         self._snapshot_memo: PolicySnapshot | None = None
+        self._archive: SnapshotArchive | None = None
         self._install()
 
     def _install(self) -> None:
@@ -460,7 +494,41 @@ class PolicyStore:
                 tables=frozenset(p.table.lower() for p in self._by_id.values()),
             )
             self._snapshot_memo = snap
-            return snap
+        if self._archive is not None:
+            self._archive.record(snap)
+        return snap
+
+    # --------------------------------------------------------- epoch pinning
+
+    def retain_snapshots(self, limit: int | None = None) -> None:
+        """Enable epoch pinning: from now on every snapshot handed out
+        is also archived by epoch for :meth:`snapshot_at` (the audit
+        tier's replay anchor).  Idempotent; ``limit`` bounds retention
+        FIFO (None = unbounded).  Every audited request takes a
+        snapshot, so every epoch a decision record can name is
+        archived."""
+        if self._archive is None:
+            self._archive = SnapshotArchive(limit)
+        else:
+            self._archive.limit = limit
+        self._archive.record(self.snapshot())
+
+    def snapshot_at(self, epoch: int) -> PolicySnapshot:
+        """The archived corpus view at ``epoch``; raises
+        :class:`~repro.common.errors.PolicyError` when retention was
+        not enabled or the epoch predates it / aged out."""
+        archive = self._archive
+        snap = archive.get(epoch) if archive is not None else None
+        if snap is None:
+            raise PolicyError(
+                f"policy epoch {epoch} is not retained "
+                f"(call retain_snapshots() before recording decisions)"
+            )
+        return snap
+
+    def retained_epochs(self) -> list[int]:
+        """Epochs replay can pin (empty when retention is off)."""
+        return self._archive.epochs() if self._archive is not None else []
 
     # ---------------------------------------------------------- partitioning
 
@@ -589,6 +657,7 @@ class PolicyPartition:
         self._snapshot_memo: tuple[tuple[int, int, int], PolicySnapshot] | None = None
         self._listeners: list[Callable[[Policy], None]] = []
         self._mutation_listeners: list[tuple[Callable[..., None], bool]] = []
+        self._archive: SnapshotArchive | None = None
         self._detached = False
         base.add_mutation_listener(self._on_base_event, with_epoch=True)
         base.add_reset_listener(self._on_base_reset)
@@ -730,7 +799,40 @@ class PolicyPartition:
             # conservative-invalidation argument of the base store).
             if (base_snap.epoch, self._membership_gen, self._epoch) == key:
                 self._snapshot_memo = (key, snap)
+        if self._archive is not None:
+            self._archive.record(snap)
         return snap
+
+    # --------------------------------------------------------- epoch pinning
+
+    def retain_snapshots(self, limit: int | None = None) -> None:
+        """Partition-scoped epoch pinning; see
+        :meth:`PolicyStore.retain_snapshots`.  Archived views are
+        keyed by *partition* epochs — exactly what this shard's
+        decision records carry.  Replay windows are per policy epoch;
+        a rebalance that migrates queriers without an owned mutation
+        changes membership at an unchanged epoch, so replay windows
+        must not straddle rebalances (the coordinator quiesces shards
+        around a move for the same reason)."""
+        if self._archive is None:
+            self._archive = SnapshotArchive(limit)
+        else:
+            self._archive.limit = limit
+        self._archive.record(self.snapshot())
+
+    def snapshot_at(self, epoch: int) -> PolicySnapshot:
+        """The archived partition view at ``epoch``; raises
+        :class:`~repro.common.errors.PolicyError` when not retained."""
+        archive = self._archive
+        snap = archive.get(epoch) if archive is not None else None
+        if snap is None:
+            raise PolicyError(
+                f"partition {self.name!r}: policy epoch {epoch} is not retained"
+            )
+        return snap
+
+    def retained_epochs(self) -> list[int]:
+        return self._archive.epochs() if self._archive is not None else []
 
     def policies_for(
         self, querier: Any, purpose: str, table: str | None = None
@@ -757,3 +859,90 @@ class PolicyPartition:
 
     def __len__(self) -> int:
         return len(self.snapshot())
+
+
+class PinnedPolicyStore:
+    """A read-only PolicyStore facade frozen at one snapshot.
+
+    The replay harness (``tools/replay.py``) builds a fresh
+    :class:`~repro.core.middleware.Sieve` over one of these per logged
+    policy epoch: the middleware sees the normal store surface —
+    ``snapshot()``, ``policies_for``, ``epoch``, the listener
+    registration points — but the corpus can never move, so a replayed
+    request plans against byte-for-byte the policy view the original
+    decision recorded, regardless of what happened to the live store
+    since.  Mutation surfaces are absent and listener registration is
+    a no-op (nothing will ever fire).
+    """
+
+    def __init__(self, db, snapshot: PolicySnapshot, groups: GroupDirectory | None = None):
+        self.db = db
+        self._snapshot = snapshot
+        self.groups = groups if groups is not None else snapshot.groups
+        self._by_id: dict[int, Policy] | None = None
+
+    @property
+    def epoch(self) -> int:
+        return self._snapshot.epoch
+
+    def snapshot(self) -> PolicySnapshot:
+        return self._snapshot
+
+    def snapshot_at(self, epoch: int) -> PolicySnapshot:
+        if epoch != self._snapshot.epoch:
+            raise PolicyError(
+                f"pinned store holds epoch {self._snapshot.epoch}, not {epoch}"
+            )
+        return self._snapshot
+
+    def retain_snapshots(self, limit: int | None = None) -> None:
+        """No-op: a pinned view is already its own archive."""
+
+    def retained_epochs(self) -> list[int]:
+        return [self._snapshot.epoch]
+
+    def policies_for(
+        self, querier: Any, purpose: str, table: str | None = None
+    ) -> list[Policy]:
+        return self._snapshot.policies_for(querier, purpose, table)
+
+    def tables_with_policies(self) -> frozenset[str]:
+        return self._snapshot.tables_with_policies()
+
+    def all_policies(self) -> list[Policy]:
+        return [p for ps in self._snapshot.by_querier.values() for p in ps]
+
+    def queriers(self) -> list[Any]:
+        return [q for q, ps in self._snapshot.by_querier.items() if ps]
+
+    def get(self, policy_id: int) -> Policy:
+        if self._by_id is None:
+            self._by_id = {p.id: p for p in self.all_policies()}
+        try:
+            return self._by_id[policy_id]
+        except KeyError:
+            raise PolicyError(f"unknown policy id {policy_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    # Listener surface: accepted and ignored — the corpus is immutable.
+    def add_listener(self, fn: Callable[[Policy], None]) -> None:
+        del fn
+
+    def remove_listener(self, fn: Callable[[Policy], None]) -> None:
+        del fn
+
+    def add_mutation_listener(
+        self, fn: Callable[..., None], with_epoch: bool = False
+    ) -> None:
+        del fn, with_epoch
+
+    def remove_mutation_listener(self, fn: Callable[..., None]) -> None:
+        del fn
+
+    def add_reset_listener(self, fn: Callable[[], None]) -> None:
+        del fn
+
+    def remove_reset_listener(self, fn: Callable[[], None]) -> None:
+        del fn

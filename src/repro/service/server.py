@@ -352,14 +352,36 @@ class SieveServer:
     # --------------------------------------------------------------- workers
 
     def _worker_loop(self) -> None:
-        while True:
-            batch = self._queue.take()
-            if batch is None:
-                return
-            try:
-                self._serve_batch(batch)
-            finally:
-                self._queue.complete(batch.key)
+        # Audit integration: each worker owns a thread-local record
+        # buffer — the middleware's hot path does one lock-free list
+        # append per request, and the same worker chains the buffer
+        # after every batch (so flushing costs one lock hold per batch,
+        # not per request, and per-worker order is preserved).  Read
+        # once at entry: attaching audit to a running server's sieve
+        # still records (AuditLog.record chains directly for threads
+        # without a buffer), it just skips the batching optimization.
+        audit = self.sieve.audit
+        if audit is not None:
+            audit.register_worker()
+        try:
+            while True:
+                batch = self._queue.take()
+                if batch is None:
+                    return
+                try:
+                    self._serve_batch(batch)
+                finally:
+                    # Flush BEFORE marking the batch complete so that
+                    # anything gating on queue completion (drain,
+                    # stop()) observes a fully chained log.  Individual
+                    # callers may resolve mid-batch; completeness reads
+                    # of a *live* log must quiesce the server first.
+                    if audit is not None:
+                        audit.flush_local()
+                    self._queue.complete(batch.key)
+        finally:
+            if audit is not None:
+                audit.unregister_worker()
 
     def _serve_batch(self, batch: Batch) -> None:
         querier, purpose = batch.key

@@ -1,8 +1,12 @@
-"""Shared fixtures: small databases, policy factories, datasets."""
+"""Shared fixtures: small databases, policy factories, datasets, and
+the audit-tier replay oracle."""
 
 from __future__ import annotations
 
+import importlib.util
+import pathlib
 import random
+import sys
 
 import pytest
 
@@ -97,3 +101,88 @@ def tippers_small():
     store = PolicyStore(dataset.db, dataset.groups)
     store.insert_many(campus.policies)
     return dataset, campus, store
+
+
+# ----------------------------------------------------------- audit oracle
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def load_replay_module():
+    """Import ``tools/replay.py`` (not an installed package) once."""
+    name = "repro_tools_replay"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(
+        name, _REPO_ROOT / "tools" / "replay.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class AuditOracle:
+    """Turns any Sieve/cluster run into a replay-verified run.
+
+    Attach middlewares (or an audited cluster) during the test; at
+    fixture teardown every attached decision chain is hash-verified
+    and replayed against its pinned policy epochs, asserting
+    bit-identical decisions — so an existing differential suite opts
+    into the oracle by adding one ``attach`` call.
+
+    ``compare_counters=False`` relaxes the per-record counter-delta
+    comparison for runs where many workers interleave on one
+    database's counters (per-request deltas are not well defined
+    there); decisions, guard sets, and result digests still must
+    reproduce exactly.
+    """
+
+    def __init__(self):
+        self._attached = []
+
+    def attach(self, sieve, *, backend_factory=None, compare_counters=True):
+        """Enable auditing on one Sieve; returns its AuditLog."""
+        log = sieve.enable_audit()
+        self._attached.append((sieve, log, backend_factory, compare_counters))
+        return log
+
+    def attach_cluster(self, cluster, *, backend_factory=None, compare_counters=True):
+        """Adopt every shard chain of a cluster built with
+        ``audit=True`` (each replays against its shard's partition)."""
+        logs = cluster.audit_logs()
+        assert logs, "cluster was not built with audit=True"
+        for name, log in logs.items():
+            shard = cluster.shard(name)
+            self._attached.append((shard.sieve, log, backend_factory, compare_counters))
+        return logs
+
+    def verify_and_replay(self):
+        """Chain-verify and replay every attached log; returns the
+        per-log ReplayReports (empty logs are skipped)."""
+        replay = load_replay_module()
+        reports = []
+        for sieve, log, backend_factory, compare_counters in self._attached:
+            checked = log.verify()
+            if not checked:
+                continue
+            report = replay.replay_records(
+                log.records(),
+                sieve.policy_store,
+                db=sieve.db,
+                cost_model=sieve.cost_model,
+                backend_factory=backend_factory,
+                compare_counters=compare_counters,
+            )
+            assert report.ok, report.describe()
+            assert report.replayed == checked
+            reports.append(report)
+        return reports
+
+
+@pytest.fixture
+def audit_oracle():
+    """The replay oracle: attach during the test, verified at teardown."""
+    oracle = AuditOracle()
+    yield oracle
+    oracle.verify_and_replay()

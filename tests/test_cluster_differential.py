@@ -238,3 +238,57 @@ def test_cluster_equals_single_server_across_routed_mutations(request, workload)
                 single.execute(sql, querier, world.purpose).rows
             )
     assert world.db.counters.cluster_policy_writes >= 2
+
+
+@pytest.mark.audit_oracle
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("engine", list(ENGINES), ids=list(ENGINES))
+@pytest.mark.parametrize("delta_mode", list(DELTA_MODES), ids=list(DELTA_MODES))
+def test_cluster_differential_replay_verified(
+    request, workload, engine, delta_mode, audit_oracle
+):
+    """The differential run with the audit tier switched on: every
+    request hash-chains a decision record on both sides, the per-shard
+    chains merge verifiably, and at fixture teardown the oracle replays
+    every chain against its pinned policy epoch asserting bit-identical
+    decisions and counters.  Opt-in (``-m audit_oracle``) so tier-1
+    runtime stays flat."""
+    world = _world(request, workload)
+    cost_model = DELTA_MODES[delta_mode]
+    backend_factory = ENGINES[engine]
+    single_sieve = Sieve(
+        world.db,
+        world.store,
+        cost_model=cost_model,
+        backend=SqliteBackend().ship(world.db) if backend_factory else None,
+    )
+    single_log = audit_oracle.attach(single_sieve, backend_factory=backend_factory)
+    cluster = SieveCluster.replicated(
+        world.db,
+        world.store,
+        n_shards=N_SHARDS,
+        backend_factory=backend_factory,
+        workers_per_shard=1,
+        cost_model=cost_model,
+        audit=True,
+    )
+    n_requests = (len(world.queriers) + 1) * len(world.queries)
+    with SieveServer(single_sieve, workers=1) as server, cluster:
+        audit_oracle.attach_cluster(cluster, backend_factory=backend_factory)
+        for querier in [*world.queriers, world.denied_querier]:
+            for sql in world.queries:
+                single_rows = server.execute(sql, querier, world.purpose, timeout=120).rows
+                cluster_rows = cluster.execute(sql, querier, world.purpose, timeout=120).rows
+                assert sorted(cluster_rows) == sorted(single_rows)
+    # Merge after shutdown: stopping the servers flushes every worker
+    # buffer, so the merged view is complete and deterministic.
+    merged = cluster.merged_audit_records()
+    from repro.audit import verify_merged
+
+    assert verify_merged(merged) == n_requests
+    assert len(single_log) == n_requests
+    # Both sides saw the same workload: the merged cluster log holds
+    # exactly the single server's (querier, sql) multiset.
+    assert sorted((str(r.querier), r.sql) for r in merged) == sorted(
+        (str(r.querier), r.sql) for r in single_log.records()
+    )

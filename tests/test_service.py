@@ -344,3 +344,63 @@ def test_stress_sqlite_backend_matches_oracle(churn):
     assert not errors, errors[:3]
     assert served > 0
     assert not mismatches, f"{len(mismatches)} wrong-row results of {served}"
+
+
+# ------------------------------------------------------- audited stress
+
+
+def test_audited_stress_one_record_per_served_request():
+    """8 client threads against an audited server with a tiny admission
+    queue, so backpressure rejections and client retries are constant:
+    the decision chain must still verify, and it must hold *exactly*
+    one record per served request — a rejected submission never reached
+    the middleware (no record), a retried one records once per serve
+    (no loss, no duplicates)."""
+    db, store, _grant, _ = build_world(n_rows=800)
+    sieve = Sieve(db, store)
+    log = sieve.enable_audit()
+    stop = threading.Event()
+    errors: list[Exception] = []
+    served: list[tuple] = []  # (querier, sql) per successful execute
+    rejected = [0]
+    lock = threading.Lock()
+
+    def client_loop(querier):
+        i = 0
+        while not stop.is_set():
+            sql = QUERIES[i % len(QUERIES)]
+            i += 1
+            try:
+                server.execute(sql, querier, "analytics", timeout=120)
+            except ServiceOverloadedError:
+                with lock:
+                    rejected[0] += 1
+                continue
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+                return
+            with lock:
+                served.append((querier, sql))
+
+    with SieveServer(sieve, workers=4, max_pending=4) as server:
+        clients = [
+            threading.Thread(target=client_loop, args=(PROBED_QUERIERS[i % 4],))
+            for i in range(8)
+        ]
+        for thread in clients:
+            thread.start()
+        time.sleep(1.5)
+        stop.set()
+        for thread in clients:
+            thread.join(timeout=60)
+
+    assert not errors, errors[:3]
+    assert served, "stress run served nothing"
+    assert rejected[0] > 0, "tiny queue never backpressured: not a stress run"
+    # Stopping the server flushed every worker's buffer; the chain
+    # must verify and account for each served request exactly once.
+    assert log.verify() == len(served)
+    assert sorted((str(r.querier), r.sql) for r in log.records()) == sorted(
+        (str(q), s) for q, s in served
+    )
+    assert db.counters.audit_records == len(served)

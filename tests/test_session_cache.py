@@ -82,6 +82,38 @@ class TestWarmEqualsCold:
         second.execute(QUERIES[0])
         assert db.counters.guard_cache_hits == hits + 1
 
+    def test_warm_path_charges_identical_enforcement_counters(self):
+        """Bit-identical means the *counters* too: the cached-guard
+        path must charge exactly the enforcement work a cold
+        middleware charges — a cache that changed the plan (or skipped
+        policy evaluation it should have done) would show up here even
+        when the row sets happen to agree."""
+        from repro.audit import AUDIT_COUNTERS
+
+        db, rows, store, sieve = build_world(seed=21)
+        session = sieve.session("prof", "analytics")
+        for sql in QUERIES:
+            session.execute(sql)  # warm the guard + rewrite caches
+        for sql in QUERIES:
+            before = db.counters.snapshot()
+            warm = session.execute(sql)
+            warm_delta = {
+                k: v for k, v in db.counters.diff(before).items()
+                if k in AUDIT_COUNTERS
+            }
+            cold_sieve = Sieve(db, store)  # no warm cache at all
+            before = db.counters.snapshot()
+            cold = cold_sieve.execute(sql, "prof", "analytics")
+            cold_delta = {
+                k: v for k, v in db.counters.diff(before).items()
+                if k in AUDIT_COUNTERS
+            }
+            assert warm.rows == cold.rows
+            assert warm_delta == cold_delta, (
+                f"cached-guard path charged different enforcement "
+                f"counters for {sql!r}"
+            )
+
     def test_denied_querier_cached_and_still_denied(self):
         db, _rows, store, sieve = build_world()
         session = sieve.session("stranger", "analytics")

@@ -1,13 +1,16 @@
 """Docs gate, run via ``make docs-check``.
 
-Two checks, both AST/text based so nothing is imported or executed:
+Three checks, all AST/text based so nothing is imported or executed:
 
 1. every module under ``src/repro`` (including new packages such as
-   ``repro/backend``) must have a module docstring;
+   ``repro/backend`` or ``repro/audit``) must have a module docstring;
 2. every *package* under ``src/repro`` must be mentioned in both
    ``README.md`` and ``docs/ARCHITECTURE.md`` — a new subsystem that
    the architecture walkthrough does not place in the dataflow is a
-   doc bug.
+   doc bug;
+3. every script under ``tools/`` must be mentioned in ``README.md`` —
+   an operational entry point (like ``tools/replay.py``) nobody can
+   discover is a doc bug too.
 
 Exits non-zero listing offenders; prints a one-line summary when clean.
 """
@@ -49,9 +52,22 @@ def check_package_mentions() -> tuple[int, list[str]]:
     return len(packages), unmentioned
 
 
+def check_tool_mentions() -> tuple[int, list[str]]:
+    tools = sorted(p.name for p in (ROOT / "tools").glob("*.py"))
+    readme = (ROOT / "README.md").read_text()
+    unmentioned = [
+        f"tools/{name} (not mentioned in README.md)"
+        for name in tools
+        if f"tools/{name}" not in readme
+    ]
+    return len(tools), unmentioned
+
+
 def main() -> int:
     checked, missing = check_docstrings()
     n_packages, unmentioned = check_package_mentions()
+    n_tools, tools_unmentioned = check_tool_mentions()
+    unmentioned += tools_unmentioned
     failed = False
     if missing:
         failed = True
@@ -67,7 +83,8 @@ def main() -> int:
         return 1
     print(
         f"docs-check: all {checked} modules under src/repro have docstrings; "
-        f"all {n_packages} packages are documented in README + ARCHITECTURE"
+        f"all {n_packages} packages are documented in README + ARCHITECTURE; "
+        f"all {n_tools} tools/ scripts are documented in the README"
     )
     return 0
 
