@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit replay audit-oracle docs-check
+.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit bench-obs replay trace-dump audit-oracle docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -43,10 +43,21 @@ bench-cluster:
 bench-audit:
 	$(PYTHON) -m pytest benchmarks/bench_audit.py -q --benchmark-only
 
+# The observability tier: <3% tracing+profiling overhead ceiling and
+# >= 95% span attribution on the Fig. 6 workload, plus the stale-stats
+# strategy-correction demo; writes repo-root BENCH_obs.json.
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/bench_obs.py -q --benchmark-only
+
 # Audit smoke: record -> tamper-check -> replay a 200-query Mall window
 # with mid-window policy churn (exits non-zero on any decision mismatch).
 replay:
 	$(PYTHON) tools/replay.py
+
+# Observability smoke: trace a few Mall queries and pretty-print the
+# span trees (exits non-zero if any pipeline phase span is missing).
+trace-dump:
+	$(PYTHON) tools/trace_dump.py
 
 # The replay-verified differential suites (opt-in marker; tier-1
 # excludes them via pytest.ini addopts so the gate stays fast).

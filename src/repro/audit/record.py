@@ -161,8 +161,12 @@ class DecisionRecord:
 
     def decision_view(self, include_counters: bool = True) -> dict[str, Any]:
         """The replay-comparable part of the payload (everything; minus
-        the counter deltas when the caller cannot hold them fixed)."""
+        the counter deltas when the caller cannot hold them fixed).
+        The trace id is always dropped: it names one live execution,
+        so a (bit-identical) replay necessarily produces a different
+        one."""
         view = dict(self.payload)
+        view.pop("trace_id", None)
         if not include_counters:
             view.pop("counters", None)
         return view
@@ -217,6 +221,7 @@ def make_payload(
     rows_denied: int,
     digest: str,
     counters: Mapping[str, int],
+    trace_id: str = "",
 ) -> dict[str, Any]:
     """Assemble the canonical decision payload.
 
@@ -226,6 +231,10 @@ def make_payload(
     Δ UDF.  ``rows_denied`` is the execution's scanned-minus-output
     tuple count — the engine-level measure of what enforcement
     filtered (0 for backend executions, whose scans happen off-engine).
+    ``trace_id`` correlates the record with the observability tier's
+    span tree for the same execution ("" when tracing is off); it is
+    excluded from :meth:`DecisionRecord.decision_view` so replay
+    comparisons ignore it.
     """
     return canonicalize(
         {
@@ -242,6 +251,7 @@ def make_payload(
             "rows_denied": rows_denied,
             "result_digest": digest,
             "counters": {name: int(counters.get(name, 0)) for name in AUDIT_COUNTERS},
+            "trace_id": trace_id,
         }
     )
 

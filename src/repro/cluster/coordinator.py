@@ -71,6 +71,7 @@ from repro.core.middleware import Sieve
 from repro.cluster.replicate import replicate_database
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.db.database import Database
+from repro.obs.tracing import SlowQueryLog, Tracer
 from repro.policy.model import Policy
 from repro.policy.store import PolicyStore
 from repro.service.admission import SessionKey
@@ -119,6 +120,7 @@ class ClusterShard:
         max_batch: int,
         cost_model: SieveCostModel | None = None,
         audit: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.name = name
         self.db = spec.db
@@ -135,6 +137,10 @@ class ClusterShard:
             backend=self.backend,
             audit=self.audit_log,
         )
+        if tracer is not None:
+            # Cluster-wide tracing: every shard's sieve.query roots
+            # deliver into the coordinator's shared tracer ring.
+            self.sieve.enable_tracing(tracer=tracer)
         self.server = SieveServer(
             self.sieve, workers=workers, max_pending=max_pending, max_batch=max_batch
         )
@@ -234,6 +240,26 @@ class ClusterStats:
             counters=dict(counters),
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (dashboards, the cluster metrics body)."""
+        return {
+            "shards": self.shards,
+            "requests": self.requests,
+            "batches": self.batches,
+            "rejections": self.rejections,
+            "failures": self.failures,
+            "pending": self.pending,
+            "latency": self.latency.to_dict(),
+            "queue_wait": self.queue_wait.to_dict(),
+            "guard_cache": dict(self.guard_cache),
+            "rewrite_cache": dict(self.rewrite_cache),
+            "partition_policies": dict(self.partition_policies),
+            "per_shard": {
+                name: stats.to_dict() for name, stats in self.per_shard.items()
+            },
+            "counters": dict(self.counters),
+        }
+
 
 @dataclass(frozen=True)
 class RebalanceReport:
@@ -301,6 +327,10 @@ class SieveCluster:
         self.cost_model = cost_model
         self._counters = store.db.counters
         self._counter_lock = threading.Lock()
+        # Cluster-level observability (None = off); enable_tracing()
+        # shares one Tracer across every shard.
+        self.tracer: Tracer | None = None
+        self.slow_query_log: SlowQueryLog | None = None
         self._route_lock = RWLock()  # readers: routing; writer: ring swap
         self._admin_lock = threading.RLock()  # serializes rebalances
         self._shard_seq = 0
@@ -372,7 +402,29 @@ class SieveCluster:
             max_batch=self.max_batch,
             cost_model=self.cost_model,
             audit=self.audit_enabled,
+            tracer=self.tracer,
         )
+
+    def enable_tracing(
+        self, tracer: Tracer | None = None, slow_query_ms: float | None = None
+    ) -> Tracer:
+        """Attach one shared span tracer across the whole cluster
+        (idempotent).  Routing opens a ``cluster.route`` root per
+        request; the owning shard's ``sieve.query`` root joins the
+        same trace id (carried through admission), so one trace id
+        correlates coordinator routing with shard-side execution.
+        Shards added later inherit the tracer automatically.
+        ``slow_query_ms`` retains slow span trees cluster-wide."""
+        if self.tracer is None:
+            self.tracer = tracer if tracer is not None else Tracer()
+            with self._route_lock.read_locked():
+                shards = list(self._shards.values())
+            for shard in shards:
+                shard.sieve.enable_tracing(tracer=self.tracer)
+        if slow_query_ms is not None and self.slow_query_log is None:
+            self.slow_query_log = SlowQueryLog(threshold_ms=slow_query_ms)
+            self.tracer.on_finish(self.slow_query_log.observe)
+        return self.tracer
 
     def _tick(self, counter: str, amount: int = 1) -> None:
         with self._counter_lock:
@@ -443,19 +495,40 @@ class SieveCluster:
 
     # ------------------------------------------------------------- requests
 
+    def _routed_submit(
+        self, sql: Any, querier: Any, purpose: str, with_info: bool
+    ) -> "Future[Any]":
+        """Route-and-admit under one read lock.  With tracing on, the
+        routing runs inside a ``cluster.route`` root span whose trace
+        id rides the admitted request — the shard worker's
+        ``sieve.query`` root then reuses it, correlating coordinator
+        and shard sides of one request."""
+        if self.tracer is None:
+            with self._route_lock.read_locked():
+                shard = self._checked_shard_locked(querier)
+                submit = (
+                    shard.server.submit_with_info if with_info else shard.server.submit
+                )
+                return submit(sql, querier, purpose)
+        with self.tracer.trace("cluster.route", querier=str(querier)) as root:
+            with self._route_lock.read_locked():
+                shard = self._checked_shard_locked(querier)
+                submit = (
+                    shard.server.submit_with_info if with_info else shard.server.submit
+                )
+                future = submit(sql, querier, purpose)
+            root.set(shard=shard.name)
+            return future
+
     def submit(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
         """Route one query to its owning shard; future resolves to the
         :class:`~repro.engine.executor.QueryResult`."""
-        with self._route_lock.read_locked():
-            shard = self._checked_shard_locked(querier)
-            future = shard.server.submit(sql, querier, purpose)
+        future = self._routed_submit(sql, querier, purpose, with_info=False)
         self._tick("cluster_requests")
         return future
 
     def submit_with_info(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
-        with self._route_lock.read_locked():
-            shard = self._checked_shard_locked(querier)
-            future = shard.server.submit_with_info(sql, querier, purpose)
+        future = self._routed_submit(sql, querier, purpose, with_info=True)
         self._tick("cluster_requests")
         return future
 
@@ -480,9 +553,21 @@ class SieveCluster:
         with :meth:`SieveServer.execute_many
         <repro.service.server.SieveServer.execute_many>` ordering
         semantics (``result[i]`` answers ``sqls[i]``)."""
-        with self._route_lock.read_locked():
-            shard = self._checked_shard_locked(querier)
-            futures = [shard.server.submit(sql, querier, purpose) for sql in sqls]
+        if self.tracer is None:
+            with self._route_lock.read_locked():
+                shard = self._checked_shard_locked(querier)
+                futures = [shard.server.submit(sql, querier, purpose) for sql in sqls]
+        else:
+            # One routing root covers the whole batch; every admitted
+            # request carries its trace id, so the batch's N shard-side
+            # executions all correlate back to this one route.
+            with self.tracer.trace("cluster.route", querier=str(querier)) as root:
+                with self._route_lock.read_locked():
+                    shard = self._checked_shard_locked(querier)
+                    futures = [
+                        shard.server.submit(sql, querier, purpose) for sql in sqls
+                    ]
+                root.set(shard=shard.name, batch=len(futures))
         self._tick("cluster_requests", len(futures))
         return [future.result(timeout=timeout) for future in futures]
 
@@ -595,6 +680,7 @@ class SieveCluster:
                 max_batch=self.max_batch,
                 cost_model=self.cost_model,
                 audit=self.audit_enabled,
+                tracer=self.tracer,
             )
             if self._started:
                 shard.server.start()
@@ -738,3 +824,28 @@ class SieveCluster:
                 name: getattr(self._counters, name) for name in _CLUSTER_COUNTERS
             }
         return ClusterStats.merge(per_shard, partition_policies, counters)
+
+    # -------------------------------------------------------------- metrics
+
+    def metrics_registry(self) -> Any:
+        """The cluster's :class:`~repro.obs.metrics.MetricsRegistry`
+        (built lazily, once): coordinator engine counters, merged
+        serving summaries and per-shard labelled gauges."""
+        registry = getattr(self, "_metrics_registry", None)
+        if registry is None:
+            from repro.obs.export import cluster_registry
+
+            registry = self._metrics_registry = cluster_registry(self)
+        return registry
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of :meth:`metrics_registry`."""
+        from repro.obs.export import to_prometheus
+
+        return to_prometheus(self.metrics_registry())
+
+    def metrics_json(self) -> dict[str, Any]:
+        """The JSON snapshot of :meth:`metrics_registry`."""
+        from repro.obs.export import to_json
+
+        return to_json(self.metrics_registry())

@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.common.concurrency import SingleFlight
 from repro.core.guards import GuardedExpression
+from repro.obs.tracing import span
 from repro.policy.model import Policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (middleware imports us)
@@ -507,10 +508,12 @@ class SieveSession:
             )
             return entry, rebuilt
 
-        entry, rebuilt, hit = sieve.guard_cache.resolve(
-            self.querier, self.purpose, table, snap.epoch, build
-        )
-        sieve.guard_cache.charge(counters, hit)
+        with span("guard.resolve", table=table) as sp:
+            entry, rebuilt, hit = sieve.guard_cache.resolve(
+                self.querier, self.purpose, table, snap.epoch, build
+            )
+            sieve.guard_cache.charge(counters, hit)
+            sp.set(hit=hit, rebuilt=rebuilt, policies=len(entry.policies))
         return entry, rebuilt
 
     def refresh(self) -> int:

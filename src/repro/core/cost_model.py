@@ -25,7 +25,7 @@ terms.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.expr.eval import ExprCompiler, RowBinding
@@ -42,6 +42,11 @@ class SieveCostModel:
     udf_invocation: float = 9.0  # Δ invocation overhead per tuple
     udf_per_policy: float = 0.05  # Δ per-relevant-policy evaluation cost
     cg: float = 500.0  # guard (re)generation cost constant (Section 6)
+    #: Optional observed-selectivity profile (a
+    #: :class:`~repro.obs.profile.SelectivityProfiler`).  Excluded from
+    #: equality/hash: two models with identical constants are the same
+    #: model whatever they have measured so far.
+    profile: Any = field(default=None, compare=False, repr=False)
 
     # ----------------------------------------------------- paper equations
 
@@ -94,6 +99,36 @@ class SieveCostModel:
 
     def with_overrides(self, **kwargs: float) -> "SieveCostModel":
         return replace(self, **kwargs)
+
+    # --------------------------------------------- observed selectivities
+
+    def attach_profile(self, profile: Any) -> Any:
+        """Bind an observed-selectivity profile (the dataclass is
+        frozen — the profile is working state, not a model constant,
+        so it mutates in place rather than forking the model)."""
+        object.__setattr__(self, "profile", profile)
+        return profile
+
+    def observe(self, table: str, guard_key: str, rows: float) -> None:
+        """Feed one *measured* guard cardinality into the model.
+
+        Lazily attaches a default
+        :class:`~repro.obs.profile.SelectivityProfiler` on first use;
+        :func:`~repro.core.strategy.choose_strategy` prefers these
+        measured values over the statistics-derived estimates.
+        """
+        if self.profile is None:
+            from repro.obs.profile import SelectivityProfiler
+
+            self.attach_profile(SelectivityProfiler())
+        self.profile.observe(table, guard_key, rows)
+
+    def observed_guard_rows(self, table: str, guard_key: str) -> float | None:
+        """The measured row count for one guard, or None when the
+        model has no profile or the guard was never observed."""
+        if self.profile is None:
+            return None
+        return self.profile.guard_rows(table, guard_key)
 
 
 def calibrate(

@@ -78,10 +78,27 @@ from repro.core.rewriter import (
 )
 from repro.core.strategy import StrategyDecision, choose_strategy
 from repro.engine.executor import QueryResult
+from repro.expr.nodes import ColumnRef, Star
+from repro.obs.tracing import SlowQueryLog, Tracer, current_trace_id, span
 from repro.policy.store import PolicyStore
-from repro.sql.ast import Query
+from repro.sql.ast import Query, Select
 from repro.sql.parser import parse_query
 from repro.sql.printer import to_sql
+
+
+def _is_plain_select(query: Query) -> bool:
+    """A bare projection — no aggregates, grouping, DISTINCT or LIMIT.
+
+    Only these shapes let the selectivity profiler equate "rows
+    admitted" with "rows surviving the guard disjunction" (the engine
+    charges ``tuples_output`` for the *final* result, which for a
+    ``COUNT(*)`` is one row whatever the guards admitted)."""
+    body = query.body
+    if not isinstance(body, Select):
+        return False
+    if body.group_by or body.having or body.distinct or body.limit is not None:
+        return False
+    return all(isinstance(item.expr, (Star, ColumnRef)) for item in body.items)
 
 
 @dataclass(frozen=True)
@@ -114,6 +131,10 @@ class SieveExecution:
     #: (a partition-local epoch when serving from a cluster shard).
     #: The audit tier records it so replay can pin the same corpus view.
     policy_epoch: int = -1
+    #: The id of the ``sieve.query`` root span this execution ran
+    #: under — empty when tracing is off.  Also stamped into the audit
+    #: payload so a slow trace and its decision record correlate.
+    trace_id: str = ""
 
 
 class Sieve:
@@ -149,6 +170,12 @@ class Sieve:
         self.audit: AuditLog | None = None
         if audit is not None:
             self.enable_audit(audit)
+        # Optional observability tier (repro.obs): span tracing, slow
+        # query capture, observed-selectivity feedback.  All None = off
+        # (span() degrades to a shared no-op scope on the hot path).
+        self.tracer: Tracer | None = None
+        self.slow_query_log: SlowQueryLog | None = None
+        self.profiler = None
         # Optional real-DBMS execution tier (repro.backend).  The whole
         # middleware pipeline — PQM filter, guard cache, strategy,
         # rewrite, Δ registration — is unchanged; only the final
@@ -224,6 +251,45 @@ class Sieve:
         if self.rewrite_cache is None:
             self.rewrite_cache = RewriteCache(capacity=capacity)
         return self.rewrite_cache
+
+    def enable_tracing(
+        self, tracer: Tracer | None = None, slow_query_ms: float | None = None
+    ) -> Tracer:
+        """Attach a span tracer (idempotent).
+
+        Every subsequent ``execute``/``execute_with_info`` opens a
+        ``sieve.query`` root span; the pipeline stages (prepare, guard
+        resolve, strategy, rewrite, plan, run) nest under it, and the
+        finished tree lands in the tracer's ring buffer.  Pass a
+        shared ``tracer`` to aggregate several Sieve instances (the
+        cluster tier does).  ``slow_query_ms`` additionally retains
+        the full span tree of any query slower than the threshold in
+        a :class:`~repro.obs.tracing.SlowQueryLog`.
+        """
+        if self.tracer is None:
+            self.tracer = tracer if tracer is not None else Tracer()
+        if slow_query_ms is not None and self.slow_query_log is None:
+            self.slow_query_log = SlowQueryLog(threshold_ms=slow_query_ms)
+            self.tracer.on_finish(self.slow_query_log.observe)
+        return self.tracer
+
+    def enable_profiling(self, profiler=None):
+        """Close the selectivity feedback loop (idempotent).
+
+        Ensures tracing is on, subscribes a
+        :class:`~repro.obs.profile.SelectivityProfiler` to finished
+        traces, and attaches it to the cost model so
+        :func:`~repro.core.strategy.choose_strategy` prefers measured
+        guard cardinalities over statistics estimates.
+        """
+        tracer = self.enable_tracing()
+        if self.profiler is None:
+            from repro.obs.profile import SelectivityProfiler
+
+            self.profiler = profiler if profiler is not None else SelectivityProfiler()
+            tracer.on_finish(self.profiler.on_trace)
+            self.cost_model.attach_profile(self.profiler)
+        return self.profiler
 
     def _on_policy_mutation(self, kind: str, policy, epoch: int | None = None) -> None:
         """Targeted guard-cache invalidation on corpus mutations.
@@ -327,81 +393,86 @@ class Sieve:
         and re-insert are observed together or not at all)."""
         start = time.perf_counter()
         metadata = QueryMetadata(querier=querier, purpose=purpose)
-        snapshot = self.policy_store.snapshot()
+        with span("middleware.prepare") as prep:
+            snapshot = self.policy_store.snapshot()
 
-        # Serving-tier fast path: an identical (querier, purpose, SQL
-        # text) at an unchanged epoch reuses the finished rewrite —
-        # parse, strategy, rewrite and printing all skipped.
-        if self.rewrite_cache is not None and isinstance(sql, str):
-            cached = self.rewrite_cache.get(querier, purpose, sql, snapshot.epoch)
-            if cached is not None:
-                execution = SieveExecution(
-                    result=QueryResult(columns=[], rows=[]),
-                    rewrite=cached.info,
-                    metadata=metadata,
-                    policies_considered=cached.policies_considered,
-                    middleware_ms=(time.perf_counter() - start) * 1000.0,
-                    policy_epoch=snapshot.epoch,
+            # Serving-tier fast path: an identical (querier, purpose, SQL
+            # text) at an unchanged epoch reuses the finished rewrite —
+            # parse, strategy, rewrite and printing all skipped.
+            if self.rewrite_cache is not None and isinstance(sql, str):
+                cached = self.rewrite_cache.get(querier, purpose, sql, snapshot.epoch)
+                if cached is not None:
+                    prep.set(cached=True)
+                    execution = SieveExecution(
+                        result=QueryResult(columns=[], rows=[]),
+                        rewrite=cached.info,
+                        metadata=metadata,
+                        policies_considered=cached.policies_considered,
+                        middleware_ms=(time.perf_counter() - start) * 1000.0,
+                        policy_epoch=snapshot.epoch,
+                    )
+                    return execution, cached.rewritten
+
+            session = self.session(querier, purpose)
+            with span("parse"):
+                query = parse_query(sql) if isinstance(sql, str) else sql
+
+            protected = snapshot.tables_with_policies()
+            targets = sorted(collect_table_names(query) & protected)
+
+            expressions: dict[str, GuardedExpression] = {}
+            decisions: dict[str, StrategyDecision] = {}
+            denied: set[str] = set()
+            regenerated: list[str] = []
+            policies_considered = 0
+
+            for table_name in targets:
+                entry, rebuilt = session.resolve(table_name, snapshot=snapshot)
+                policies_considered += len(entry.policies)
+                if entry.expression is None:
+                    denied.add(table_name)
+                    continue
+                expression = entry.expression
+                if rebuilt:
+                    regenerated.append(table_name)
+                heap = self.db.catalog.table(table_name)
+                qpreds = query_predicates_for(
+                    query, table_name, {c.lower() for c in heap.schema.names}
                 )
-                return execution, cached.rewritten
+                with span("strategy", table=table_name) as st:
+                    decisions[table_name] = choose_strategy(
+                        self.db,
+                        table_name,
+                        expression,
+                        qpreds,
+                        self.cost_model,
+                        personality=self.execution_personality,
+                    )
+                    st.set(strategy=decisions[table_name].strategy.value)
+                expressions[table_name] = expression
 
-        session = self.session(querier, purpose)
-        query = parse_query(sql) if isinstance(sql, str) else sql
-
-        protected = snapshot.tables_with_policies()
-        targets = sorted(collect_table_names(query) & protected)
-
-        expressions: dict[str, GuardedExpression] = {}
-        decisions: dict[str, StrategyDecision] = {}
-        denied: set[str] = set()
-        regenerated: list[str] = []
-        policies_considered = 0
-
-        for table_name in targets:
-            entry, rebuilt = session.resolve(table_name, snapshot=snapshot)
-            policies_considered += len(entry.policies)
-            if entry.expression is None:
-                denied.add(table_name)
-                continue
-            expression = entry.expression
-            if rebuilt:
-                regenerated.append(table_name)
-            heap = self.db.catalog.table(table_name)
-            qpreds = query_predicates_for(
-                query, table_name, {c.lower() for c in heap.schema.names}
+            rewritten, info = self.rewriter.rewrite(query, expressions, decisions, denied)
+            if self.rewrite_cache is not None and isinstance(sql, str):
+                self.rewrite_cache.put(
+                    querier,
+                    purpose,
+                    sql,
+                    snapshot.epoch,
+                    rewritten,
+                    info,
+                    policies_considered,
+                )
+            middleware_ms = (time.perf_counter() - start) * 1000.0
+            execution = SieveExecution(
+                result=QueryResult(columns=[], rows=[]),
+                rewrite=info,
+                metadata=metadata,
+                policies_considered=policies_considered,
+                regenerated_tables=regenerated,
+                middleware_ms=middleware_ms,
+                policy_epoch=snapshot.epoch,
             )
-            decisions[table_name] = choose_strategy(
-                self.db,
-                table_name,
-                expression,
-                qpreds,
-                self.cost_model,
-                personality=self.execution_personality,
-            )
-            expressions[table_name] = expression
-
-        rewritten, info = self.rewriter.rewrite(query, expressions, decisions, denied)
-        if self.rewrite_cache is not None and isinstance(sql, str):
-            self.rewrite_cache.put(
-                querier,
-                purpose,
-                sql,
-                snapshot.epoch,
-                rewritten,
-                info,
-                policies_considered,
-            )
-        middleware_ms = (time.perf_counter() - start) * 1000.0
-        execution = SieveExecution(
-            result=QueryResult(columns=[], rows=[]),
-            rewrite=info,
-            metadata=metadata,
-            policies_considered=policies_considered,
-            regenerated_tables=regenerated,
-            middleware_ms=middleware_ms,
-            policy_epoch=snapshot.epoch,
-        )
-        return execution, rewritten
+            return execution, rewritten
 
     def rewrite(self, sql: str | Query, querier: Any, purpose: str) -> Query:
         """The enforcement rewrite as an AST (without executing it)."""
@@ -413,36 +484,75 @@ class Sieve:
         return self.execute_with_info(sql, querier, purpose).result
 
     def execute_with_info(self, sql: str | Query, querier: Any, purpose: str) -> SieveExecution:
+        if self.tracer is None:
+            return self._execute_with_info(sql, querier, purpose)[0]
+        with self.tracer.trace(
+            "sieve.query", querier=str(querier), purpose=purpose
+        ) as root:
+            execution, rewritten = self._execute_with_info(sql, querier, purpose)
+            execution.trace_id = root.trace_id
+            root.set(
+                engine=execution.engine,
+                policy_epoch=execution.policy_epoch,
+                rows_admitted=len(execution.result.rows),
+                plain_select=_is_plain_select(rewritten),
+                enforcement={
+                    table: {
+                        "strategy": decision.strategy.value,
+                        "guard_keys": list(execution.rewrite.guard_keys.get(table, ())),
+                        "est_rows": list(decision.guard_est_rows),
+                        "query_conjuncts": decision.query_conjuncts,
+                    }
+                    for table, decision in execution.rewrite.decisions.items()
+                },
+            )
+        return execution
+
+    def _execute_with_info(
+        self, sql: str | Query, querier: Any, purpose: str
+    ) -> tuple[SieveExecution, Query]:
         execution, rewritten = self._prepare(sql, querier, purpose)
         # Audit scopes its counter delta around *execution only*:
         # guard generation / strategy / rewrite charge no enforcement
         # counters, so the recorded delta is identical for cache-hit
         # and cold paths — the cache-transparency the replay oracle
         # depends on.  Snapshot/diff is a fixed-size dict pass over
-        # repro.db.counters, so the hot-path cost stays O(1).
-        before = self.db.counters.snapshot() if self.audit is not None else None
-        if self.backend is not None:
-            # RewriteInfo.sql is already printed in the backend's
-            # dialect by the rewriter — exactly the text the engine
-            # sees, and printing stays out of the timed window so
-            # execution_ms is comparable with the bundled path's.
-            start = time.perf_counter()
-            execution.result = self.backend.execute(execution.rewrite.sql)
-            execution.execution_ms = (time.perf_counter() - start) * 1000.0
-            execution.engine = "backend"
-            counters = self.db.counters
-            counters.backend_queries += 1
-            counters.backend_rows += len(execution.result.rows)
-        else:
-            start = time.perf_counter()
-            execution.result = self.db.execute(rewritten)
-            execution.execution_ms = (time.perf_counter() - start) * 1000.0
-            execution.engine = (
-                "vectorized" if getattr(self.db, "vectorized", False) else "tuple"
-            )
+        # repro.db.counters, so the hot-path cost stays O(1).  Tracing
+        # wants the same delta (the profiler reads it off the execute
+        # span), so it is taken whenever either consumer is on.
+        need_delta = self.audit is not None or self.tracer is not None
+        before = self.db.counters.snapshot() if need_delta else None
+        with span("execute") as ex_span:
+            if self.backend is not None:
+                # RewriteInfo.sql is already printed in the backend's
+                # dialect by the rewriter — exactly the text the engine
+                # sees, and printing stays out of the timed window so
+                # execution_ms is comparable with the bundled path's.
+                start = time.perf_counter()
+                execution.result = self.backend.execute(execution.rewrite.sql)
+                execution.execution_ms = (time.perf_counter() - start) * 1000.0
+                execution.engine = "backend"
+                counters = self.db.counters
+                counters.backend_queries += 1
+                counters.backend_rows += len(execution.result.rows)
+            else:
+                start = time.perf_counter()
+                execution.result = self.db.execute(rewritten)
+                execution.execution_ms = (time.perf_counter() - start) * 1000.0
+                execution.engine = (
+                    "vectorized" if getattr(self.db, "vectorized", False) else "tuple"
+                )
         if before is not None:
-            self._record_decision(sql, execution, self.db.counters.diff(before))
-        return execution
+            delta = self.db.counters.diff(before)
+            ex_span.set(
+                engine=execution.engine,
+                tuples_scanned=delta["tuples_scanned"],
+                tuples_output=delta["tuples_output"],
+            )
+            if self.audit is not None:
+                with span("audit.record"):
+                    self._record_decision(sql, execution, delta)
+        return execution, rewritten
 
     def _record_decision(
         self, sql: str | Query, execution: SieveExecution, delta: dict[str, int]
@@ -471,6 +581,7 @@ class Sieve:
             rows_denied=denied,
             digest=result_digest(rows),
             counters=delta,
+            trace_id=current_trace_id() or "",
         )
         self.audit.record(payload)
 

@@ -39,6 +39,7 @@ from repro.core.delta import DELTA_UDF_NAME, DeltaOperator
 from repro.core.guards import GuardedExpression
 from repro.core.strategy import Strategy, StrategyDecision
 from repro.expr.analysis import conjuncts, make_and, make_or, walk
+from repro.obs.tracing import span
 from repro.expr.nodes import (
     And,
     Arith,
@@ -254,6 +255,20 @@ class SieveRewriter:
         ``denied_tables`` are relations the querier has no policies on —
         they rewrite to an empty projection (opt-out semantics).
         """
+        with span("rewrite") as sp:
+            rewritten, info = self._rewrite(query, expressions, decisions, denied_tables)
+            sp.set(
+                enforced=len(info.enforced_tables), denied=len(info.denied_tables)
+            )
+        return rewritten, info
+
+    def _rewrite(
+        self,
+        query: Query,
+        expressions: dict[str, GuardedExpression],
+        decisions: dict[str, StrategyDecision],
+        denied_tables: set[str] = frozenset(),
+    ) -> tuple[Query, RewriteInfo]:
         info = RewriteInfo(decisions=dict(decisions))
         new_ctes: list[CTE] = []
         replacements: dict[str, str] = {}

@@ -48,6 +48,17 @@ class StrategyDecision:
     query_index_column: str | None = None
     delta_guards: frozenset[int] = frozenset()
     costs: dict[str, float] = field(default_factory=dict)
+    #: Per-guard row counts the decision costed with, in guard order —
+    #: measured (profile) values where available, statistics estimates
+    #: otherwise.  The observability tier stamps these into the trace
+    #: so the selectivity profiler can correct them from execution.
+    guard_est_rows: tuple[float, ...] = ()
+    #: How many query conjuncts the decision saw (the span feed only
+    #: trusts admitted-row counts when the query adds no filters).
+    query_conjuncts: int = 0
+    #: How many of the costed guard rows came from measured
+    #: observations rather than statistics.
+    measured_guards: int = 0
 
     def describe(self) -> str:
         parts = [self.strategy.value]
@@ -106,15 +117,28 @@ def choose_strategy(
     rows_after_query = full_query_sel * stats.row_count
     guard_or_row_cost = alpha * (n_guards + avg_partition) * cpu_pred
 
-    sum_guard_rows = sum(g.cardinality for g in expression.guards)
+    # Measured-over-estimated: a guard the profiler has observed costs
+    # with its live row count (clamped to the table — an EWMA can
+    # briefly overshoot under churn); unobserved guards keep their
+    # statistics-derived cardinality.
+    guard_rows: list[float] = []
+    measured_guards = 0
+    for i, g in enumerate(expression.guards):
+        observed = cost_model.observed_guard_rows(table_name, expression.guard_key(i))
+        if observed is None:
+            guard_rows.append(g.cardinality)
+        else:
+            guard_rows.append(min(float(stats.row_count), observed))
+            measured_guards += 1
+    sum_guard_rows = sum(guard_rows)
     guard_pages = sum(
         expected_pages(
-            g.cardinality,
+            rows,
             stats.page_count,
             _correlation(g.condition.attr),
             stats.row_count,
         )
-        for g in expression.guards
+        for rows, g in zip(guard_rows, expression.guards)
     )
     cost_index_guards = (
         guard_pages * personality.random_page_cost
@@ -175,6 +199,9 @@ def choose_strategy(
         query_index_column=best_column if best is Strategy.INDEX_QUERY else None,
         delta_guards=delta_guards,
         costs=costs,
+        guard_est_rows=tuple(guard_rows),
+        query_conjuncts=len(query_conjuncts),
+        measured_guards=measured_guards,
     )
 
 

@@ -23,6 +23,7 @@ from repro.engine.executor import Executor, QueryResult
 from repro.engine.plans import PlanNode
 from repro.engine.vector import VectorizedExecutor
 from repro.expr.codegen import CompiledExprCache
+from repro.obs.tracing import span
 from repro.optimizer.explain import ExplainNode, TableAccess, access_summary, explain_plan
 from repro.optimizer.planner import PlannedQuery, Planner
 from repro.optimizer.stats import StatsCatalog, TableStats
@@ -165,7 +166,8 @@ class Database:
                 return self._execute_statement(statement)
             query = statement
         planned = self.plan(query)
-        return self.run_plan(planned)
+        with span("run", vectorized=self.vectorized):
+            return self.run_plan(planned)
 
     def run_plan(
         self,

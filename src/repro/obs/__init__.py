@@ -1,0 +1,58 @@
+"""Observability tier: phase tracing, unified metrics, selectivity feedback.
+
+Three pieces, all pull- or callback-based so the enforcement hot path
+stays allocation-light:
+
+* :mod:`repro.obs.tracing` — per-request span trees (``Tracer`` /
+  ``Span``) threaded from :meth:`Sieve.execute
+  <repro.core.middleware.Sieve.execute>` through guard resolution,
+  strategy choice, rewrite, planning and execution, plus the
+  :class:`SlowQueryLog` that keeps full span trees for outliers;
+* :mod:`repro.obs.metrics` + :mod:`repro.obs.export` — one
+  :class:`MetricsRegistry` unifying the deterministic
+  :class:`~repro.db.counters.CounterSet`, ``ServiceStats``,
+  ``ClusterStats`` and cache stats behind Prometheus text exposition
+  and JSON snapshots;
+* :mod:`repro.obs.profile` — :class:`SelectivityProfiler`, which turns
+  finished traces into per-guard *observed* selectivities and cache
+  hit rates and feeds them back through
+  :meth:`SieveCostModel.observe <repro.core.cost_model.SieveCostModel.observe>`
+  so :mod:`repro.core.strategy` prefers measured over estimated rows.
+
+See ``docs/ARCHITECTURE.md`` §11 for the span taxonomy and exposition
+formats.
+"""
+
+from repro.obs.metrics import (
+    Metric,
+    MetricsRegistry,
+    Sample,
+    register_counterset,
+    weighted_counter_names,
+)
+from repro.obs.profile import SelectivityProfiler
+from repro.obs.tracing import (
+    SlowQueryLog,
+    Span,
+    Tracer,
+    attributed_fraction,
+    current_span,
+    current_trace_id,
+    span,
+)
+
+__all__ = [
+    "Metric",
+    "MetricsRegistry",
+    "Sample",
+    "SelectivityProfiler",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "attributed_fraction",
+    "current_span",
+    "current_trace_id",
+    "register_counterset",
+    "span",
+    "weighted_counter_names",
+]

@@ -1,0 +1,194 @@
+"""Observed-selectivity feedback: measured guard rows from live traces.
+
+The cost model's strategy choice (Section 5.5) trusts *estimated*
+guard cardinalities from table statistics.  Estimates drift — stats
+go stale under churn, and per-guard selectivity skew grows with the
+policy corpus (the Shakya et al. follow-up in PAPERS.md) — so a guard
+the model prices at 50 rows may fetch 5000, making IndexGuards a
+pessimal choice the model keeps re-making.  This module closes the
+loop:
+
+* :class:`SelectivityProfiler` keeps an EWMA of **observed** rows per
+  ``(table, guard key)`` — guard keys are the stable
+  :meth:`~repro.core.guards.GuardedExpression.guard_key` identities
+  the audit tier already records — plus per-cache hit/miss tallies.
+* Observations arrive two ways: directly via
+  :meth:`SieveCostModel.observe
+  <repro.core.cost_model.SieveCostModel.observe>` (anything that can
+  count rows per guard), or automatically from **live spans**: the
+  profiler subscribes to a :class:`~repro.obs.tracing.Tracer` and
+  parses each finished ``sieve.query`` root — enforcement metadata
+  stamped by the middleware plus execution counter deltas — into
+  per-guard row observations (:meth:`SelectivityProfiler.on_trace`).
+* :func:`~repro.core.strategy.choose_strategy` asks the cost model
+  for ``observed_guard_rows(table, guard_key)`` and prefers the
+  measured value over the estimate whenever one exists.
+
+Span-feed inference rules (single enforced table, bundled engine,
+plain projection queries — shapes where the counters identify guard
+work unambiguously):
+
+* **LinearScan, no query conjuncts**: rows admitted = rows surviving
+  the guard disjunction, so the union cardinality is observed
+  directly and distributed over guards proportionally to their
+  estimates.
+* **IndexGuards**: the enforcement CTE scans exactly the
+  guard-matched rows (plus one CTE re-scan of the admitted rows), so
+  ``tuples_scanned − rows_admitted`` observes the summed per-guard
+  fetch, again distributed proportionally.
+
+Aggregate/grouped queries are skipped — the engine charges
+``tuples_output`` for the *final* result (1 row for ``COUNT(*)``),
+which says nothing about guard selectivity.  Overlapping guards make
+the proportional split an approximation; the EWMA (β = 0.3 by
+default) smooths both that and run-to-run noise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+__all__ = ["SelectivityProfiler", "DEFAULT_EWMA_BETA"]
+
+#: Weight of the newest observation in the moving average.
+DEFAULT_EWMA_BETA = 0.3
+
+#: Strategies whose executions the span feed can interpret.
+_FEED_STRATEGIES = ("LinearScan", "IndexGuards")
+
+
+class _Ewma:
+    __slots__ = ("value", "observations")
+
+    def __init__(self, value: float):
+        self.value = value
+        self.observations = 1
+
+
+class SelectivityProfiler:
+    """Thread-safe store of observed guard selectivities + cache hit
+    rates, consumable by the cost model and the metrics tier."""
+
+    def __init__(self, beta: float = DEFAULT_EWMA_BETA):
+        if not 0.0 < beta <= 1.0:
+            raise ValueError("EWMA beta must be in (0, 1]")
+        self.beta = beta
+        self._lock = threading.Lock()
+        self._guards: dict[tuple[str, str], _Ewma] = {}
+        self._caches: dict[str, list[int]] = {}  # name -> [hits, misses]
+        self.traces_consumed = 0
+        self.traces_skipped = 0
+
+    # ------------------------------------------------------------ recording
+
+    def observe(self, table: str, guard_key: str, rows: float) -> None:
+        """Fold one observed row count into the (table, guard) EWMA."""
+        key = (table.lower(), guard_key)
+        rows = max(0.0, float(rows))
+        with self._lock:
+            entry = self._guards.get(key)
+            if entry is None:
+                self._guards[key] = _Ewma(rows)
+            else:
+                entry.value += self.beta * (rows - entry.value)
+                entry.observations += 1
+
+    def observe_cache(self, name: str, hit: bool) -> None:
+        with self._lock:
+            tally = self._caches.setdefault(name, [0, 0])
+            tally[0 if hit else 1] += 1
+
+    # -------------------------------------------------------------- reading
+
+    def guard_rows(self, table: str, guard_key: str) -> float | None:
+        """The measured row estimate, or None when never observed."""
+        entry = self._guards.get((table.lower(), guard_key))
+        return entry.value if entry is not None else None
+
+    def observation_count(self, table: str, guard_key: str) -> int:
+        entry = self._guards.get((table.lower(), guard_key))
+        return entry.observations if entry is not None else 0
+
+    def cache_hit_rate(self, name: str) -> float | None:
+        with self._lock:
+            tally = self._caches.get(name)
+            if not tally or not (tally[0] + tally[1]):
+                return None
+            return tally[0] / (tally[0] + tally[1])
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready dump (dashboards, tests)."""
+        with self._lock:
+            return {
+                "guards": {
+                    f"{table}::{guard_key}": {
+                        "rows": entry.value,
+                        "observations": entry.observations,
+                    }
+                    for (table, guard_key), entry in sorted(self._guards.items())
+                },
+                "caches": {
+                    name: {
+                        "hits": hits,
+                        "misses": misses,
+                        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                    }
+                    for name, (hits, misses) in sorted(self._caches.items())
+                },
+                "traces_consumed": self.traces_consumed,
+                "traces_skipped": self.traces_skipped,
+            }
+
+    # ------------------------------------------------------------ span feed
+
+    def on_trace(self, root: Any) -> None:
+        """The :meth:`Tracer.on_finish <repro.obs.tracing.Tracer.on_finish>`
+        hook: fold one finished ``sieve.query`` trace into the profile."""
+        if getattr(root, "name", "") != "sieve.query":
+            return
+        attrs = root.attrs
+        # Cache hit rates come from every trace, whatever the query shape.
+        for resolve in root.find_all("guard.resolve"):
+            hit = resolve.attrs.get("hit")
+            if hit is not None:
+                self.observe_cache("guard_cache", bool(hit))
+        if not self._feed_guards(attrs, root):
+            self.traces_skipped += 1
+            return
+        self.traces_consumed += 1
+
+    def _feed_guards(self, attrs: Mapping[str, Any], root: Any) -> bool:
+        enforcement = attrs.get("enforcement")
+        if not enforcement or len(enforcement) != 1:
+            return False
+        if attrs.get("engine") == "backend" or not attrs.get("plain_select"):
+            return False
+        ((table, meta),) = enforcement.items()
+        strategy = meta.get("strategy")
+        keys = meta.get("guard_keys") or []
+        estimates = meta.get("est_rows") or []
+        if strategy not in _FEED_STRATEGIES or not keys or len(keys) != len(estimates):
+            return False
+        admitted = float(attrs.get("rows_admitted", 0))
+        if strategy == "LinearScan":
+            if meta.get("query_conjuncts", 0):
+                return False  # admitted rows conflate guard and query filters
+            observed_total = admitted
+        else:  # IndexGuards
+            execute = root.find("execute")
+            scanned = execute.attrs.get("tuples_scanned") if execute is not None else None
+            if scanned is None:
+                return False
+            # The CTE re-scan of admitted rows rides the same counter.
+            observed_total = max(0.0, float(scanned) - admitted)
+        est_total = float(sum(estimates))
+        if est_total > 0.0:
+            scale = observed_total / est_total
+            for guard_key, estimate in zip(keys, estimates):
+                self.observe(table, guard_key, float(estimate) * scale)
+        else:
+            share = observed_total / len(keys)
+            for guard_key in keys:
+                self.observe(table, guard_key, share)
+        return True

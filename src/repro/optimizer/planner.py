@@ -34,6 +34,7 @@ from repro.expr.analysis import (
     make_and,
 )
 from repro.expr.eval import RowBinding
+from repro.obs.tracing import span
 from repro.expr.nodes import (
     AGGREGATE_FUNCTIONS,
     And,
@@ -132,21 +133,22 @@ class Planner:
     # ------------------------------------------------------------- top level
 
     def plan(self, query: Query) -> PlannedQuery:
-        cte_plans: dict[str, PlanNode] = {}
-        self._cte_bindings = {}
-        for cte in query.ctes:
-            sub = self._plan_core(cte.query.body, extra_ctes=cte_plans)
-            if cte.query.ctes:
-                raise PlanError("nested WITH inside a CTE is not supported")
-            cte_plans[cte.name.lower()] = sub
-            self._cte_bindings[cte.name.lower()] = sub.binding.column_names
-        root = self._plan_core(query.body, extra_ctes=cte_plans)
-        # Batch-capability annotation: the vectorized executor trusts
-        # these flags, so every plan leaving the planner carries them.
-        annotate_batch_capability(root)
-        for cte_plan in cte_plans.values():
-            annotate_batch_capability(cte_plan)
-        return PlannedQuery(root=root, cte_plans=cte_plans)
+        with span("plan", ctes=len(query.ctes)):
+            cte_plans: dict[str, PlanNode] = {}
+            self._cte_bindings = {}
+            for cte in query.ctes:
+                sub = self._plan_core(cte.query.body, extra_ctes=cte_plans)
+                if cte.query.ctes:
+                    raise PlanError("nested WITH inside a CTE is not supported")
+                cte_plans[cte.name.lower()] = sub
+                self._cte_bindings[cte.name.lower()] = sub.binding.column_names
+            root = self._plan_core(query.body, extra_ctes=cte_plans)
+            # Batch-capability annotation: the vectorized executor trusts
+            # these flags, so every plan leaving the planner carries them.
+            annotate_batch_capability(root)
+            for cte_plan in cte_plans.values():
+                annotate_batch_capability(cte_plan)
+            return PlannedQuery(root=root, cte_plans=cte_plans)
 
     def _plan_core(self, core: SelectCore, extra_ctes: dict[str, PlanNode]) -> PlanNode:
         if isinstance(core, SetOp):

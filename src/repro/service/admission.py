@@ -57,6 +57,9 @@ class ServiceRequest:
     #: True when the caller asked for the full SieveExecution rather
     #: than the bare QueryResult.
     with_info: bool = False
+    #: The admitting thread's active trace id ("" when it had none) —
+    #: the worker adopts it so cross-thread spans share one trace.
+    trace_id: str = ""
 
     @property
     def key(self) -> SessionKey:

@@ -58,6 +58,11 @@ from typing import Any, Iterable, Sequence
 
 from repro.common.errors import ServiceOverloadedError, ServiceStoppedError
 from repro.core.middleware import Sieve
+from repro.obs.tracing import (
+    clear_inherited_trace_id,
+    current_trace_id,
+    set_inherited_trace_id,
+)
 from repro.service.admission import AdmissionQueue, Batch, ServiceRequest
 
 DEFAULT_WORKERS = 4
@@ -73,6 +78,9 @@ def percentile(values: Sequence[float], q: float) -> float:
     requests, not of millions."""
     if not values:
         return 0.0
+    # Clamp: q outside [0, 100] would index past the sample list
+    # (q > 100) or extrapolate below the minimum (q < 0).
+    q = min(100.0, max(0.0, q))
     # Already-ascending input (the common caller sorts once for all
     # three quantiles) skips the re-sort.
     ordered = list(values)
@@ -126,6 +134,18 @@ class LatencySummary:
         total = sum(s.count for s in populated)
         if not total:
             return cls()
+        if len(populated) == 1:
+            # One real population (single shard, or single-sample
+            # summaries merged with empties): its percentiles are exact
+            # — pass them through rather than re-deriving.
+            only = populated[0]
+            return cls(
+                count=only.count,
+                mean_ms=only.mean_ms,
+                p50_ms=only.p50_ms,
+                p95_ms=only.p95_ms,
+                p99_ms=only.p99_ms,
+            )
 
         def weighted(attr: str) -> float:
             return sum(getattr(s, attr) * s.count for s in populated) / total
@@ -137,6 +157,16 @@ class LatencySummary:
             p95_ms=weighted("p95_ms"),
             p99_ms=weighted("p99_ms"),
         )
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready form (the metrics tier's summary sample source)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+        }
 
 
 @dataclass
@@ -176,6 +206,24 @@ class ServiceStats:
         if not self.rewrite_cache:
             return 0.0
         return float(self.rewrite_cache.get("hit_rate", 0.0))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (dashboards, the /metrics JSON body)."""
+        return {
+            "workers": self.workers,
+            "pending": self.pending,
+            "requests": self.requests,
+            "batches": self.batches,
+            "rejections": self.rejections,
+            "failures": self.failures,
+            "mean_batch_size": self.mean_batch_size,
+            "latency": self.latency.to_dict(),
+            "queue_wait": self.queue_wait.to_dict(),
+            "guard_cache": dict(self.guard_cache),
+            "rewrite_cache": (
+                dict(self.rewrite_cache) if self.rewrite_cache is not None else None
+            ),
+        }
 
 
 class SieveServer:
@@ -295,6 +343,10 @@ class SieveServer:
             purpose=purpose,
             submitted_at=time.perf_counter(),
             with_info=with_info,
+            # If the admitting thread runs inside a span (the cluster's
+            # routing root), its trace id rides the request so the
+            # worker's sieve.query root joins the same trace.
+            trace_id=current_trace_id() or "",
         )
         try:
             self._queue.submit(request)
@@ -363,6 +415,11 @@ class SieveServer:
         audit = self.sieve.audit
         if audit is not None:
             audit.register_worker()
+        # The tracer batches finished traces the same way: one
+        # thread-confined buffer per worker, one lock hold per batch.
+        tracer = self.sieve.tracer
+        if tracer is not None:
+            tracer.register_worker()
         try:
             while True:
                 batch = self._queue.take()
@@ -378,10 +435,14 @@ class SieveServer:
                     # of a *live* log must quiesce the server first.
                     if audit is not None:
                         audit.flush_local()
+                    if tracer is not None:
+                        tracer.flush_local()
                     self._queue.complete(batch.key)
         finally:
             if audit is not None:
                 audit.unregister_worker()
+            if tracer is not None:
+                tracer.unregister_worker()
 
     def _serve_batch(self, batch: Batch) -> None:
         querier, purpose = batch.key
@@ -398,6 +459,8 @@ class SieveServer:
                 continue
             served_any = True
             failed = False
+            if request.trace_id:
+                set_inherited_trace_id(request.trace_id)
             try:
                 if request.with_info:
                     result: Any = session.execute_with_info(request.sql)
@@ -410,6 +473,9 @@ class SieveServer:
             else:
                 request.finished_at = time.perf_counter()
                 request.future.set_result(result)
+            finally:
+                if request.trace_id:
+                    clear_inherited_trace_id()
             self._record(request, failed=failed)
         if not served_any:
             return  # an all-cancelled batch must not skew batch stats
@@ -459,3 +525,29 @@ class SieveServer:
                 rewrite_cache.stats.snapshot() if rewrite_cache is not None else None
             ),
         )
+
+    # -------------------------------------------------------------- metrics
+
+    def metrics_registry(self) -> Any:
+        """The server's :class:`~repro.obs.metrics.MetricsRegistry`
+        (built lazily, once): every engine counter plus the serving
+        gauges/summaries.  Imported lazily so a server that never
+        scrapes pays nothing."""
+        registry = getattr(self, "_metrics_registry", None)
+        if registry is None:
+            from repro.obs.export import server_registry
+
+            registry = self._metrics_registry = server_registry(self)
+        return registry
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition of :meth:`metrics_registry`."""
+        from repro.obs.export import to_prometheus
+
+        return to_prometheus(self.metrics_registry())
+
+    def metrics_json(self) -> dict[str, Any]:
+        """The JSON snapshot of :meth:`metrics_registry`."""
+        from repro.obs.export import to_json
+
+        return to_json(self.metrics_registry())

@@ -1,0 +1,202 @@
+"""Observability tier: observed-selectivity feedback into the cost model.
+
+The EWMA store itself, direct ``SieveCostModel.observe`` feedback
+flipping ``choose_strategy`` in both directions, the span feed's
+inference rules (LinearScan union, IndexGuards scan-minus-admitted,
+aggregate skip), and the closed loop end-to-end: a table that grows
+under stale statistics gets its strategy corrected purely from live
+trace observations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import make_policies, make_wifi_db
+from repro.core.middleware import Sieve
+from repro.core.strategy import Strategy
+from repro.obs.profile import SelectivityProfiler
+from repro.policy.store import PolicyStore
+
+SQL = "SELECT * FROM wifi"
+
+
+def _sieve(n_owners: int = 4, n_rows: int = 4000):
+    db, _rows = make_wifi_db(n_rows=n_rows)
+    store = PolicyStore(db)
+    store.insert_many(make_policies(n_owners=n_owners))
+    return Sieve(db, store)
+
+
+def _decision(sieve: Sieve):
+    execution = sieve.execute_with_info(SQL, "prof", "analytics")
+    return execution.rewrite.decisions["wifi"], execution.rewrite.guard_keys["wifi"]
+
+
+# ------------------------------------------------------------- EWMA store
+
+
+def test_ewma_moves_toward_new_observations():
+    profiler = SelectivityProfiler(beta=0.3)
+    profiler.observe("wifi", "g0", 100.0)
+    assert profiler.guard_rows("wifi", "g0") == 100.0  # first sets, no blend
+    profiler.observe("wifi", "g0", 200.0)
+    assert profiler.guard_rows("wifi", "g0") == pytest.approx(130.0)
+    assert profiler.observation_count("wifi", "g0") == 2
+    assert profiler.guard_rows("WIFI", "g0") == pytest.approx(130.0)  # case-folded
+    assert profiler.guard_rows("wifi", "other") is None
+
+
+def test_observe_clamps_negative_rows():
+    profiler = SelectivityProfiler()
+    profiler.observe("wifi", "g0", -50.0)
+    assert profiler.guard_rows("wifi", "g0") == 0.0
+
+
+def test_beta_validation():
+    with pytest.raises(ValueError):
+        SelectivityProfiler(beta=0.0)
+    with pytest.raises(ValueError):
+        SelectivityProfiler(beta=1.5)
+    assert SelectivityProfiler(beta=1.0).beta == 1.0  # last-value-wins allowed
+
+
+def test_snapshot_shape_and_cache_rates():
+    profiler = SelectivityProfiler()
+    assert profiler.cache_hit_rate("guard_cache") is None
+    profiler.observe_cache("guard_cache", hit=False)
+    profiler.observe_cache("guard_cache", hit=True)
+    profiler.observe("wifi", "g0", 10.0)
+    snap = profiler.snapshot()
+    assert snap["guards"]["wifi::g0"] == {"rows": 10.0, "observations": 1}
+    assert snap["caches"]["guard_cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+    assert profiler.cache_hit_rate("guard_cache") == 0.5
+
+
+# ------------------------------------------------ direct feedback flips
+
+
+def test_observed_rows_flip_strategy_both_directions():
+    sieve = _sieve(n_owners=4)
+    baseline, keys = _decision(sieve)
+    assert baseline.strategy is Strategy.LINEAR_SCAN
+    assert baseline.measured_guards == 0
+    assert len(baseline.guard_est_rows) == len(keys)
+
+    # Measured-tiny guards make the per-guard index unions cheap.
+    for key in keys:
+        sieve.cost_model.observe("wifi", key, 1.0)
+    tiny, _ = _decision(sieve)
+    assert tiny.strategy is Strategy.INDEX_GUARDS
+    assert tiny.measured_guards == len(keys)
+    assert tiny.costs["IndexGuards"] < baseline.costs["IndexGuards"]
+
+    # Measured-huge guards push the choice back to a sequential scan.
+    for key in keys:
+        for _ in range(20):  # drive the EWMA up
+            sieve.cost_model.observe("wifi", key, 4000.0)
+    huge, _ = _decision(sieve)
+    assert huge.strategy is Strategy.LINEAR_SCAN
+    assert huge.measured_guards == len(keys)
+
+
+def test_observed_rows_clamped_to_table_cardinality():
+    sieve = _sieve(n_owners=4)
+    _, keys = _decision(sieve)
+    sieve.cost_model.observe("wifi", keys[0], 1e9)  # absurd overshoot
+    decision, _ = _decision(sieve)
+    # The costed row count is clamped to the table's row count.
+    assert decision.guard_est_rows[0] <= 4000.0
+    assert decision.measured_guards == 1
+
+
+def test_unobserved_guards_keep_statistics_estimates():
+    sieve = _sieve(n_owners=4)
+    baseline, keys = _decision(sieve)
+    sieve.cost_model.observe("wifi", keys[0], 123.0)
+    decision, _ = _decision(sieve)
+    assert decision.guard_est_rows[0] == pytest.approx(123.0)
+    assert decision.guard_est_rows[1:] == baseline.guard_est_rows[1:]
+
+
+# ------------------------------------------------------------- span feed
+
+
+def test_trace_feed_observes_linear_scan_union():
+    sieve = _sieve(n_owners=4)
+    profiler = sieve.enable_profiling()
+    execution = sieve.execute_with_info(SQL, "prof", "analytics")
+    assert profiler.traces_consumed == 1
+    keys = execution.rewrite.guard_keys["wifi"]
+    observed = [profiler.guard_rows("wifi", key) for key in keys]
+    assert all(rows is not None for rows in observed)
+    # LinearScan with no query conjuncts: the union of guard matches is
+    # exactly the admitted row count, split proportionally.
+    assert sum(observed) == pytest.approx(len(execution.result.rows))
+
+
+def test_trace_feed_skips_aggregates():
+    sieve = _sieve(n_owners=4)
+    profiler = sieve.enable_profiling()
+    sieve.execute("SELECT COUNT(*) FROM wifi", "prof", "analytics")
+    assert profiler.traces_consumed == 0
+    assert profiler.traces_skipped == 1  # COUNT output says nothing per-guard
+
+
+def test_trace_feed_records_guard_cache_hits():
+    sieve = _sieve(n_owners=4)
+    profiler = sieve.enable_profiling()
+    sieve.execute(SQL, "prof", "analytics")  # miss: first resolve builds
+    sieve.execute(SQL, "prof", "analytics")  # hit: cached guarded expr
+    assert profiler.cache_hit_rate("guard_cache") == 0.5
+
+
+def test_enable_profiling_is_idempotent_and_wires_cost_model():
+    sieve = _sieve(n_owners=4)
+    profiler = sieve.enable_profiling()
+    assert sieve.enable_profiling() is profiler
+    assert sieve.cost_model.profile is profiler
+    assert sieve.tracer is not None  # profiling implies tracing
+
+
+# --------------------------------------------------------- closed loop
+
+
+def test_feedback_loop_corrects_strategy_under_stale_statistics():
+    """Grow a table 60x without re-running ANALYZE: statistics still
+    describe 300 rows, so the model picks per-guard index unions; the
+    span feed measures the real fetch sizes off the execution counters
+    and the very next query reverts to a sequential scan — no ANALYZE,
+    no manual observe() calls."""
+    db, _rows = make_wifi_db(n_rows=300)
+    store = PolicyStore(db)
+    store.insert_many(make_policies(n_owners=3))
+    sieve = Sieve(db, store)
+    profiler = sieve.enable_profiling()
+
+    first = sieve.execute_with_info(SQL, "prof", "analytics")
+    assert first.rewrite.decisions["wifi"].strategy is Strategy.LINEAR_SCAN
+
+    rng = random.Random(9)
+    extra = [
+        (300 + i, rng.randrange(32), rng.randrange(3), rng.randrange(1440), rng.randrange(90))
+        for i in range(18000)
+    ]
+    db.insert("wifi", extra)  # deliberately NOT analyzed: stats are stale
+
+    # The first-query feed observed ~300-row guards, so the grown table
+    # is (wrongly) served with index unions...
+    second = sieve.execute_with_info(SQL, "prof", "analytics")
+    assert second.rewrite.decisions["wifi"].strategy is Strategy.INDEX_GUARDS
+    assert second.rewrite.decisions["wifi"].measured_guards > 0
+    assert len(second.result.rows) > 4000
+
+    # ...whose execution counters expose the true selectivity, and the
+    # next decision corrects to LinearScan.
+    third = sieve.execute_with_info(SQL, "prof", "analytics")
+    assert third.rewrite.decisions["wifi"].strategy is Strategy.LINEAR_SCAN
+    assert profiler.traces_consumed >= 3
+    for key in third.rewrite.guard_keys["wifi"]:
+        assert profiler.observation_count("wifi", key) >= 2

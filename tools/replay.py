@@ -149,6 +149,9 @@ def replay_records(
         replayed = replay_log.records()[-1].payload
         recorded = record.decision_view(include_counters=compare_counters)
         replayed_view = dict(replayed)
+        # Trace ids name live executions — the replay's differ (or are
+        # empty) by construction, so both sides exclude them.
+        replayed_view.pop("trace_id", None)
         if not compare_counters:
             replayed_view.pop("counters", None)
         diffs = {
