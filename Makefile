@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit bench-obs replay trace-dump audit-oracle docs-check
+.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit bench-obs bench-health bench-gate health-report replay trace-dump audit-oracle docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -48,6 +48,24 @@ bench-audit:
 # strategy-correction demo; writes repo-root BENCH_obs.json.
 bench-obs:
 	$(PYTHON) -m pytest benchmarks/bench_obs.py -q --benchmark-only
+
+# The health tier: histogram quantile accuracy vs its documented
+# bound, <3% instrumentation overhead, the 2x overload burst (SLO
+# shedding must keep served p99 inside budget where the naive queue
+# blows through), and the slow-shard detour; writes BENCH_health.json.
+bench-health:
+	$(PYTHON) -m pytest benchmarks/bench_health.py -q --benchmark-only
+
+# Regression gate: re-runs the snapshot-emitting benches in smoke mode
+# and compares each gated metric against the committed BENCH_*.json
+# baselines (>20% unfavourable drift fails; baselines are restored).
+bench-gate:
+	$(PYTHON) tools/bench_gate.py
+
+# Health smoke: render the cluster dashboard, slow one shard, and
+# verify the control loop flags + detours it (exits non-zero if not).
+health-report:
+	$(PYTHON) tools/health_report.py
 
 # Audit smoke: record -> tamper-check -> replay a 200-query Mall window
 # with mid-window policy churn (exits non-zero on any decision mismatch).

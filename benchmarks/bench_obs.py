@@ -9,7 +9,10 @@ feedback loop:
   within 3% of the bare one.  Every span is one ``perf_counter`` pair
   and a list append; disabled sites cost a thread-local read.  Timing
   is best-of-``ROUNDS`` with retry attempts: wall-clock ratios on a
-  shared host are noisy and the claim is about the floor.
+  shared host are noisy and the claim is about the floor.  The
+  *reported* overhead is the median across attempts (the minimum
+  regularly lands negative on a quiet host, which reads as nonsense);
+  the ceiling assertion still gates on the best attempt.
 * **attribution >= 95%** — across every captured trace, the named
   phase spans (``middleware.prepare``, ``execute``, ``audit.record``)
   cover at least 95% of each root's wall time, duration-weighted — the
@@ -29,6 +32,7 @@ from __future__ import annotations
 import json
 import pathlib
 import random
+import statistics
 import time
 
 from repro.bench.results import format_table, write_result
@@ -213,7 +217,13 @@ def test_obs_overhead_and_attribution(benchmark):
             ):
                 break
         results["attempts"] = attempts
-        results["overhead"] = min(a["overhead"] for a in attempts)
+        # Median is the *reported* overhead: min() of noisy wall-clock
+        # ratios picks the luckiest attempt and regularly goes
+        # negative, which reads as nonsense in the snapshot.  The
+        # ceiling assertion still gates on the best attempt — the
+        # claim is about the floor.
+        results["overhead"] = statistics.median(a["overhead"] for a in attempts)
+        results["overhead_best"] = min(a["overhead"] for a in attempts)
         results["attribution"] = max(a["attribution"] for a in attempts)
 
         # -- selectivity feedback loop ------------------------------
@@ -225,9 +235,11 @@ def test_obs_overhead_and_attribution(benchmark):
     best = min(results["attempts"], key=lambda a: a["overhead"])
     flip = results["feedback"]
     rows = [
-        ["overhead (best)", f"{results['overhead'] * 100:.2f}%",
-         f"plain {best['plain_s'] * 1000:.1f} ms vs traced "
-         f"{best['traced_s'] * 1000:.1f} ms, best of {ROUNDS} rounds"],
+        ["overhead (median)", f"{results['overhead'] * 100:.2f}%",
+         f"median of {len(results['attempts'])} attempt(s); best "
+         f"{results['overhead_best'] * 100:.2f}% (plain "
+         f"{best['plain_s'] * 1000:.1f} ms vs traced "
+         f"{best['traced_s'] * 1000:.1f} ms, best of {ROUNDS} rounds)"],
         ["attribution", f"{results['attribution'] * 100:.2f}%",
          f"duration-weighted over {best['traces']} traces"],
         ["feedback flip", f"{flip['stale_strategy']} -> {flip['corrected_strategy']}",
@@ -252,6 +264,7 @@ def test_obs_overhead_and_attribution(benchmark):
     payload = {
         "workload": "fig6-mall-obs",
         "overhead": round(results["overhead"], 4),
+        "overhead_best": round(results["overhead_best"], 4),
         "overhead_ceiling": OVERHEAD_CEILING,
         "attribution": round(results["attribution"], 4),
         "attribution_floor": ATTRIBUTION_FLOOR,
@@ -263,8 +276,8 @@ def test_obs_overhead_and_attribution(benchmark):
     }
     (REPO_ROOT / "BENCH_obs.json").write_text(json.dumps(payload, indent=2) + "\n")
 
-    assert results["overhead"] < OVERHEAD_CEILING, (
-        f"traced overhead {results['overhead']:.1%} exceeds the "
+    assert results["overhead_best"] < OVERHEAD_CEILING, (
+        f"traced overhead {results['overhead_best']:.1%} exceeds the "
         f"{OVERHEAD_CEILING:.0%} ceiling in every attempt"
     )
     assert results["attribution"] >= ATTRIBUTION_FLOOR, (

@@ -19,8 +19,18 @@ ServiceOverloadedError`, i.e. backpressure) is counted and retried
 after a short pause, so reports distinguish *shed* load from *failed*
 requests.
 
+:func:`run_open_loop` is the complementary *overload* generator: it
+submits on a fixed arrival schedule (aggregate ``rate_qps`` split
+across the scripts) whether or not earlier requests have finished, so
+offered load can exceed capacity — the regime where SLO-aware
+shedding (:meth:`SieveServer.enable_slo
+<repro.service.server.SieveServer.enable_slo>`) earns its keep.
+Rejected arrivals are *dropped* (counted, not retried): an open-loop
+client models independent arrivals, not a retry storm.
+
 ``benchmarks/bench_service_throughput.py`` sweeps worker counts with
-this harness; ``examples/concurrent_server.py`` shows it in miniature.
+this harness; ``benchmarks/bench_health.py`` drives the overload
+burst; ``examples/concurrent_server.py`` shows it in miniature.
 """
 
 from __future__ import annotations
@@ -65,6 +75,16 @@ class LoadReport:
     @property
     def throughput_qps(self) -> float:
         return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def offered(self) -> int:
+        """Arrivals the generator produced (served + failed + shed)."""
+        return self.completed + self.failed + self.rejected
+
+    @property
+    def reject_rate(self) -> float:
+        """Fraction of offered load turned away at admission."""
+        return self.rejected / self.offered if self.offered else 0.0
 
     def row(self) -> list[Any]:
         """Markdown-table row used by the throughput bench."""
@@ -141,6 +161,104 @@ def run_closed_loop(
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - started
+    return LoadReport(
+        clients=len(scripts),
+        duration_s=elapsed,
+        completed=len(latencies) - failed,
+        failed=failed,
+        rejected=rejected,
+        latency=LatencySummary.of_seconds(latencies),
+    )
+
+
+def run_open_loop(
+    server: SieveServer,
+    scripts: Sequence[ClientScript],
+    rate_qps: float,
+    duration_s: float,
+    result_timeout_s: float = 60.0,
+) -> LoadReport:
+    """Drive ``server`` at a fixed aggregate arrival rate; open loop.
+
+    Each script thread submits every ``len(scripts) / rate_qps``
+    seconds regardless of outstanding work, so offered load is set by
+    the schedule, not the server — ``rate_qps`` above capacity *is*
+    the overload.  Latency is client-observed (submit → result) over
+    **served** requests only; rejections (static backpressure or the
+    adaptive shedder) are counted into ``rejected`` and dropped.  The
+    served-p99 / reject-rate pair is the quantity the health bench
+    compares across shedding policies.
+    """
+    if rate_qps <= 0.0:
+        raise ValueError("rate_qps must be positive")
+    if not scripts:
+        raise ValueError("run_open_loop needs at least one script")
+    interval = len(scripts) / rate_qps
+    lock = threading.Lock()
+    # Appended from future done-callbacks (list.append is atomic):
+    # latency is stamped the moment the worker resolves the future,
+    # NOT when the client thread gets around to reaping it — reaping
+    # happens after the whole submission window, which would inflate
+    # every early request's latency to ~duration_s.
+    latencies: list[float] = []
+    failures: list[int] = []
+    rejected = 0
+
+    def observe(future: Any, start: float) -> None:
+        latencies.append(time.perf_counter() - start)
+        if future.exception() is not None:
+            failures.append(1)
+
+    started_at = [0.0]
+
+    def client_loop(index: int, script: ClientScript) -> None:
+        nonlocal rejected
+        pending: list[Any] = []
+        local_rejected = 0
+        # Stagger the scripts across one interval so aggregate
+        # arrivals are evenly spaced, not N-at-a-time bursts.
+        next_at = started_at[0] + interval * (index / len(scripts))
+        deadline = started_at[0] + duration_s
+        i = 0
+        while True:
+            now = time.perf_counter()
+            if now >= deadline:
+                break
+            if now < next_at:
+                time.sleep(min(next_at - now, deadline - now))
+                continue
+            next_at += interval
+            sql = script.sql_at(i)
+            i += 1
+            start = time.perf_counter()
+            try:
+                future = server.submit(sql, script.querier, script.purpose)
+            except ServiceOverloadedError:
+                local_rejected += 1
+            else:
+                future.add_done_callback(
+                    lambda f, s=start: observe(f, s)
+                )
+                pending.append(future)
+        for future in pending:  # reap: keep the report's population complete
+            try:
+                future.result(timeout=result_timeout_s)
+            except Exception:
+                pass  # observe() already counted it
+        with lock:
+            rejected += local_rejected
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i, script), name=f"openloop-{i}")
+        for i, script in enumerate(scripts)
+    ]
+    started_at[0] = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started_at[0]
+    failed = len(failures)
     return LoadReport(
         clients=len(scripts),
         duration_s=elapsed,

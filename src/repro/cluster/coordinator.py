@@ -59,6 +59,7 @@ protocol that never produces a wrong answer mid-flight:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -71,6 +72,8 @@ from repro.core.middleware import Sieve
 from repro.cluster.replicate import replicate_database
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.db.database import Database
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.slo import SLO, BurnRateMonitor, SLOSample
 from repro.obs.tracing import SlowQueryLog, Tracer
 from repro.policy.model import Policy
 from repro.policy.store import PolicyStore
@@ -186,20 +189,43 @@ def _merge_cache_stats(snapshots: Iterable[dict[str, float] | None]) -> dict[str
     return agg
 
 
+def _merge_latency(
+    stats: "list[ServiceStats]", hist_attr: str, summary_attr: str
+) -> LatencySummary:
+    """Exact cross-shard latency merge.
+
+    When every shard carries its log-bucketed
+    :class:`~repro.obs.histogram.LatencyHistogram`, the merge adds
+    bucket counts — the merged quantiles are *identical* to a single
+    histogram over the union population (no count-weighted
+    approximation).  Falls back to :meth:`LatencySummary.merge
+    <repro.service.server.LatencySummary.merge>` for hand-built
+    summaries without histograms.
+    """
+    hists = [getattr(s, hist_attr, None) for s in stats]
+    if stats and all(h is not None for h in hists):
+        return LatencySummary.of_histogram(LatencyHistogram.merge(hists))
+    return LatencySummary.merge([getattr(s, summary_attr) for s in stats])
+
+
 @dataclass
 class ClusterStats:
     """Cluster-level aggregation of every shard's accounting.
 
     Counts are exact sums; ``latency`` / ``queue_wait`` merge the
-    per-shard :class:`~repro.service.LatencySummary`\\ s
-    (count-weighted, see :meth:`LatencySummary.merge
-    <repro.service.server.LatencySummary.merge>`); ``guard_cache`` /
+    per-shard latency *histograms* bucket-for-bucket (exact — see
+    :func:`_merge_latency`; the count-weighted
+    :meth:`LatencySummary.merge
+    <repro.service.server.LatencySummary.merge>` remains the fallback
+    for stats without histograms); ``guard_cache`` /
     ``rewrite_cache`` aggregate the shards'
     :class:`~repro.core.cache.CacheStats` snapshots with the hit rate
     recomputed over the summed traffic.  ``partition_policies`` is the
     per-shard policy-partition size — the 1/N corpus share the bench
-    asserts — and ``per_shard`` retains each shard's full
-    :class:`~repro.service.ServiceStats`.
+    asserts — ``per_shard`` retains each shard's full
+    :class:`~repro.service.ServiceStats`, and ``health`` /
+    ``reroutes`` carry the coordinator's tracked per-shard verdicts
+    and active routing detours (:meth:`SieveCluster.health_tick`).
     """
 
     shards: int
@@ -215,6 +241,8 @@ class ClusterStats:
     partition_policies: dict[str, int] = field(default_factory=dict)
     per_shard: dict[str, ServiceStats] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
+    health: dict[str, str] = field(default_factory=dict)
+    reroutes: dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def merge(
@@ -222,6 +250,8 @@ class ClusterStats:
         per_shard: dict[str, ServiceStats],
         partition_policies: dict[str, int],
         counters: dict[str, int],
+        health: dict[str, str] | None = None,
+        reroutes: dict[str, str] | None = None,
     ) -> "ClusterStats":
         stats = list(per_shard.values())
         return cls(
@@ -231,13 +261,15 @@ class ClusterStats:
             rejections=sum(s.rejections for s in stats),
             failures=sum(s.failures for s in stats),
             pending=sum(s.pending for s in stats),
-            latency=LatencySummary.merge([s.latency for s in stats]),
-            queue_wait=LatencySummary.merge([s.queue_wait for s in stats]),
+            latency=_merge_latency(stats, "latency_hist", "latency"),
+            queue_wait=_merge_latency(stats, "queue_wait_hist", "queue_wait"),
             guard_cache=_merge_cache_stats(s.guard_cache for s in stats),
             rewrite_cache=_merge_cache_stats(s.rewrite_cache for s in stats),
             partition_policies=dict(partition_policies),
             per_shard=dict(per_shard),
             counters=dict(counters),
+            health=dict(health or {}),
+            reroutes=dict(reroutes or {}),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -258,6 +290,8 @@ class ClusterStats:
                 name: stats.to_dict() for name, stats in self.per_shard.items()
             },
             "counters": dict(self.counters),
+            "health": dict(self.health),
+            "reroutes": dict(self.reroutes),
         }
 
 
@@ -336,6 +370,17 @@ class SieveCluster:
         self._shard_seq = 0
         self._started = False
         self._stopped = False
+        # Health-aware routing state (configure_health() arms it).
+        # _reroutes maps degraded-shard → fallback-shard and is read on
+        # the routing hot path (mutated only under the route write
+        # lock); the rest is touched only under the admin lock.
+        self._reroutes: dict[str, str] = {}
+        self._health_slo: SLO | None = None
+        self._health_clock: Callable[[], float] = time.monotonic
+        self._recovery_hold_s = 0.0
+        self._shard_monitors: dict[str, BurnRateMonitor] = {}
+        self._shard_status: dict[str, str] = {}
+        self._healthy_since: dict[str, float] = {}
 
         ring = HashRing(vnodes=vnodes)
         named: list[tuple[str, ShardSpec]] = []
@@ -484,8 +529,15 @@ class SieveCluster:
         routing read lock *across the admission call too*: the
         rebalance protocol's drain phase only waits for requests
         already queued, so route-then-enqueue must be atomic against a
-        ring swap (the swap takes the write lock)."""
-        shard = self._shards[self._ring.route(querier)]
+        ring swap (the swap takes the write lock).
+
+        Health-aware detour: a shard :meth:`health_tick` flagged is
+        deprioritized — its queriers land on the fallback shard whose
+        partition was widened to own them (``_reroutes``, installed
+        and cleared under the route write lock like a ring swap), so
+        rerouted answers stay row-identical."""
+        name = self._ring.route(querier)
+        shard = self._shards[self._reroutes.get(name, name)]
         if not shard.available:
             self._tick("cluster_unavailable")
             raise ShardUnavailableError(
@@ -638,6 +690,240 @@ class SieveCluster:
     def restore_shard(self, name: str) -> None:
         self.shard(name).available = True
 
+    def slow_shard(self, name: str, delay_s: float) -> None:
+        """Fault injection: pad every request ``name`` serves by
+        ``delay_s`` (0 heals it).  The shard still answers correctly —
+        just slowly enough to burn its latency SLO, which is exactly
+        the failure mode :meth:`health_tick` detects and routes
+        around."""
+        if delay_s < 0.0:
+            raise ClusterError("delay_s must be non-negative")
+        self.shard(name).server.inject_delay_s = delay_s
+
+    # ----------------------------------------------------------- health/SLO
+
+    def configure_health(
+        self,
+        slo: SLO,
+        recovery_hold_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "SieveCluster":
+        """Arm health-aware routing: one per-shard
+        :class:`~repro.obs.slo.BurnRateMonitor` over ``slo``, actuated
+        by :meth:`health_tick`.
+
+        ``recovery_hold_s`` is the hysteresis window — a flagged shard
+        must stay clear for this long before its reroute is lifted
+        (default: the SLO's short window).  Recovery is *time-based*
+        by necessity: a rerouted-away shard receives no traffic, so
+        its burn signal decays to zero as the windows drain rather
+        than by serving proof.  ``clock`` is injectable for
+        deterministic tests (samples are re-stamped with it)."""
+        if recovery_hold_s is not None and recovery_hold_s < 0.0:
+            raise ClusterError("recovery_hold_s must be non-negative")
+        with self._admin_lock:
+            self._health_slo = slo
+            self._health_clock = clock
+            self._recovery_hold_s = (
+                recovery_hold_s if recovery_hold_s is not None else slo.short_window_s
+            )
+            self._shard_monitors = {}
+            self._shard_status = {}
+            self._healthy_since = {}
+        return self
+
+    def _shard_monitor(self, name: str, shard: ClusterShard) -> BurnRateMonitor:
+        monitor = self._shard_monitors.get(name)
+        if monitor is None:
+            slo = self._health_slo
+            clock = self._health_clock
+
+            def source(
+                server: SieveServer = shard.server,
+                threshold: float | None = slo.latency_ms,
+                read_clock: Callable[[], float] = clock,
+            ) -> SLOSample:
+                sample = server.slo_sample(threshold)
+                # Re-stamp with the cluster's clock so injected test
+                # clocks line up with the monitor's window arithmetic.
+                return SLOSample(
+                    now=read_clock(),
+                    requests=sample.requests,
+                    failures=sample.failures,
+                    over_latency=sample.over_latency,
+                )
+
+            monitor = self._shard_monitors[name] = BurnRateMonitor(
+                slo, source=source, clock=clock
+            )
+        return monitor
+
+    def health_tick(self, now: float | None = None) -> dict[str, str]:
+        """One health-control-loop iteration (call it periodically —
+        there is no background thread, matching the serving tier's
+        piggybacked ticking).
+
+        Per shard: unavailable/stopped → ``unhealthy``; burn-rate
+        alert firing → ``degraded``; else ``healthy``.  Actuation:
+        every non-healthy shard gets a reroute onto a healthy fallback
+        (partition widened *before* the routing swap, the rebalance
+        grow-then-swap order, so no request ever sees a narrow
+        partition); a rerouted shard that has stayed healthy for
+        ``recovery_hold_s`` has its detour lifted (drain → shrink →
+        invalidate, the rebalance phase-3 discipline).  Returns the
+        tracked status per shard."""
+        with self._admin_lock:
+            if self._health_slo is None:
+                raise ClusterError("configure_health() must run before health_tick()")
+            if now is None:
+                now = self._health_clock()
+            with self._route_lock.read_locked():
+                shards = dict(self._shards)
+            for name in list(self._shard_monitors):
+                if name not in shards:
+                    self._shard_monitors.pop(name, None)
+                    self._healthy_since.pop(name, None)
+            statuses: dict[str, str] = {}
+            for name, shard in shards.items():
+                monitor = self._shard_monitor(name, shard)
+                if not shard.available or not shard.server.running:
+                    statuses[name] = "unhealthy"
+                    continue
+                state = monitor.tick(now=now)
+                statuses[name] = (
+                    "degraded"
+                    if (state.fast_firing or state.slow_firing)
+                    else "healthy"
+                )
+            for name, status in statuses.items():
+                if status == "healthy":
+                    self._healthy_since.setdefault(name, now)
+                else:
+                    self._healthy_since.pop(name, None)
+            self._shard_status = statuses
+            for name, status in statuses.items():
+                if status != "healthy" and name not in self._reroutes:
+                    self._install_reroute(name, statuses)
+            for name in list(self._reroutes):
+                since = self._healthy_since.get(name)
+                if (
+                    statuses.get(name) == "healthy"
+                    and since is not None
+                    and now - since >= self._recovery_hold_s
+                ):
+                    self._clear_reroute(name)
+            return dict(statuses)
+
+    def _set_fallback_ownership(self, fallback: str, covered: set[str]) -> None:
+        """Point a fallback's partition at its base queriers plus those
+        of every shard in ``covered`` (the reroute analogue of the
+        rebalance grow/shrink predicates)."""
+        shard = self._shards[fallback]
+        if covered:
+            shard.partition.set_ownership(
+                lambda q, n=fallback, r=self._ring, c=frozenset(covered): (
+                    r.route(q) == n or r.route(q) in c
+                )
+            )
+        else:
+            shard.partition.set_ownership(
+                lambda q, n=fallback, r=self._ring: r.route(q) == n
+            )
+
+    def _pick_fallback(self, degraded: str, statuses: dict[str, str]) -> str | None:
+        """A healthy, non-rerouted shard to stand in for ``degraded``
+        (preferring one not already covering another detour)."""
+        candidates = [
+            name
+            for name in sorted(statuses)
+            if name != degraded
+            and statuses[name] == "healthy"
+            and name not in self._reroutes
+        ]
+        free = [name for name in candidates if name not in self._reroutes.values()]
+        choices = free or candidates
+        return choices[0] if choices else None
+
+    def _install_reroute(self, name: str, statuses: dict[str, str]) -> None:
+        fallback = self._pick_fallback(name, statuses)
+        if fallback is None:
+            return  # no healthy stand-in; routing keeps its verdict as-is
+        covered = {d for d, f in self._reroutes.items() if f == fallback} | {name}
+        # Grow before swap: the fallback owns the detoured queriers'
+        # policies before any of their requests can reach it.
+        self._set_fallback_ownership(fallback, covered)
+        with self._route_lock.write_locked():
+            self._reroutes[name] = fallback
+
+    def _clear_reroute(self, name: str) -> None:
+        with self._route_lock.write_locked():
+            fallback = self._reroutes.pop(name, None)
+        if fallback is None or fallback not in self._shards:
+            return
+        shard = self._shards[fallback]
+        ring = self._ring
+        # New requests for the recovered shard's queriers now land on
+        # it again; drain the fallback's stragglers for them, then
+        # shrink its partition and drop their migrated cached state —
+        # on timeout keep the widened ownership (stragglers stay
+        # correct; a later tick retries the shrink via reinstall).
+        drained = shard.server.wait_quiesced(
+            lambda key, n=name, r=ring: r.route(key[0]) == n,
+            timeout=self.rebalance_timeout,
+        )
+        if not drained:
+            with self._route_lock.write_locked():
+                self._reroutes[name] = fallback
+            return
+        covered = {d for d, f in self._reroutes.items() if f == fallback}
+        self._set_fallback_ownership(fallback, covered)
+        for querier in {
+            q for q in shard.cached_queriers() if ring.route(q) == name
+        }:
+            shard.invalidate_querier(querier)
+
+    def _clear_all_reroutes(self) -> None:
+        """Lift every detour (rebalances recompute ownership from the
+        ring alone; the next health_tick re-detours against the new
+        assignment if a shard is still flagged)."""
+        for name in list(self._reroutes):
+            self._clear_reroute(name)
+
+    def reroutes(self) -> dict[str, str]:
+        """Active detours: degraded shard → fallback serving for it."""
+        with self._route_lock.read_locked():
+            return dict(self._reroutes)
+
+    def shard_health(self) -> dict[str, str]:
+        """The coordinator's tracked verdict per live shard (shards
+        never ticked default to ``healthy``)."""
+        statuses = self._shard_status  # atomic reference, swapped whole
+        with self._route_lock.read_locked():
+            return {name: statuses.get(name, "healthy") for name in self._shards}
+
+    def health_registry(self) -> Any:
+        """A fresh :class:`~repro.obs.health.HealthRegistry` over the
+        current shard set (rebuilt per call — rebalances change the
+        component list)."""
+        from repro.obs.health import cluster_health
+
+        return cluster_health(self)
+
+    def health(self) -> Any:
+        """The cluster :class:`~repro.obs.health.HealthReport` with the
+        cluster-aware roll-up: dead shards cap the verdict at
+        ``degraded`` while any shard still serves."""
+        from repro.obs.health import HealthReport, rollup_cluster
+
+        report = self.health_registry().report()
+        return HealthReport(
+            status=rollup_cluster(report.components), components=report.components
+        )
+
+    def health_json(self) -> dict[str, Any]:
+        """JSON-ready :meth:`health` (the ``/health`` endpoint body)."""
+        return self.health().to_dict()
+
     # ----------------------------------------------------------- rebalance
 
     def routable_queriers(self) -> set[Any]:
@@ -713,6 +999,10 @@ class SieveCluster:
         leaving: ClusterShard | None,
     ) -> RebalanceReport:
         """Grow → swap → drain → shrink (see the module docstring)."""
+        # Health detours widen partitions with predicates closed over
+        # the *old* ring; lift them first (the next health_tick
+        # re-detours against the new assignment if still warranted).
+        self._clear_all_reroutes()
         survivors = [
             shard
             for shard in self._shards.values()
@@ -823,7 +1113,13 @@ class SieveCluster:
             counters = {
                 name: getattr(self._counters, name) for name in _CLUSTER_COUNTERS
             }
-        return ClusterStats.merge(per_shard, partition_policies, counters)
+        return ClusterStats.merge(
+            per_shard,
+            partition_policies,
+            counters,
+            health=self.shard_health(),
+            reroutes=self.reroutes(),
+        )
 
     # -------------------------------------------------------------- metrics
 

@@ -17,12 +17,32 @@ stays allocation-light:
   finished traces into per-guard *observed* selectivities and cache
   hit rates and feeds them back through
   :meth:`SieveCostModel.observe <repro.core.cost_model.SieveCostModel.observe>`
-  so :mod:`repro.core.strategy` prefers measured over estimated rows.
+  so :mod:`repro.core.strategy` prefers measured over estimated rows;
+* :mod:`repro.obs.histogram` — :class:`LatencyHistogram`, the
+  log-bucketed, exactly-mergeable latency population behind every
+  serving-tier summary (error-bounded quantiles, exact cross-shard
+  merges);
+* :mod:`repro.obs.slo` + :mod:`repro.obs.health` — declarative
+  :class:`SLO` targets evaluated as multi-window burn rates
+  (:class:`BurnRateMonitor`) and per-component :class:`HealthRegistry`
+  checks rolled up to healthy/degraded/unhealthy; together they drive
+  the serving tier's adaptive shedding and the cluster's health-aware
+  routing.
 
 See ``docs/ARCHITECTURE.md`` §11 for the span taxonomy and exposition
-formats.
+formats and §12 for histogram buckets, burn-rate windows, and the
+shedding/routing feedback loop.
 """
 
+from repro.obs.health import (
+    ComponentHealth,
+    HealthRegistry,
+    HealthReport,
+    HealthStatus,
+    cluster_health,
+    server_health,
+)
+from repro.obs.histogram import LatencyHistogram
 from repro.obs.metrics import (
     Metric,
     MetricsRegistry,
@@ -30,6 +50,7 @@ from repro.obs.metrics import (
     register_counterset,
     weighted_counter_names,
 )
+from repro.obs.slo import SLO, AlertEvent, BurnRateMonitor, SLOSample, SLOState
 from repro.obs.profile import SelectivityProfiler
 from repro.obs.tracing import (
     SlowQueryLog,
@@ -42,17 +63,29 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AlertEvent",
+    "BurnRateMonitor",
+    "ComponentHealth",
+    "HealthRegistry",
+    "HealthReport",
+    "HealthStatus",
+    "LatencyHistogram",
     "Metric",
     "MetricsRegistry",
+    "SLO",
+    "SLOSample",
+    "SLOState",
     "Sample",
     "SelectivityProfiler",
     "SlowQueryLog",
     "Span",
     "Tracer",
     "attributed_fraction",
+    "cluster_health",
     "current_span",
     "current_trace_id",
     "register_counterset",
+    "server_health",
     "span",
     "weighted_counter_names",
 ]

@@ -1,0 +1,342 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An :class:`SLO` states the serving objective the way an SRE would —
+"99% of served requests complete within ``latency_ms``" and/or "the
+failure rate stays under ``error_rate``" — and a
+:class:`BurnRateMonitor` turns a *cumulative* counter stream (total
+requests, failures, requests over the latency threshold, read from
+the serving tier's :class:`~repro.obs.histogram.LatencyHistogram`)
+into **burn rates**: the rate at which the error budget is being
+consumed, normalized so that 1.0 means "exactly on budget".
+
+    burn = (bad events / events in window) / budget fraction
+
+Two windows run side by side (the multi-window, multi-burn-rate
+pattern from the SRE workbook that Shakya et al.'s flat-enforcement-
+cost argument implicitly assumes someone is watching):
+
+* the **short window** (seconds) catches fast burns — a queue melt-
+  down during an overload burst.  ``fast_firing`` drives *admission
+  shedding* (:class:`~repro.service.admission.AdaptiveShedder`) and
+  the cluster's degraded-shard routing, so reaction time is bounded
+  by the short window, not by a human.
+* the **long window** catches slow burns — a persistent regression
+  that would exhaust the budget over hours.  ``slow_firing`` is an
+  alert, not an actuator.
+
+The monitor is pull-based and clock-injectable: :meth:`tick` reads
+one cumulative sample, prunes history older than the long window, and
+evaluates both windows; :meth:`maybe_tick` rate-limits ticking so the
+serving hot path can piggyback it on request completion without a
+background thread.  Alert *edges* (state transitions, not levels) are
+recorded as structured events and exposed — with the live burn
+gauges — through the PR 7 metrics registry
+(:meth:`BurnRateMonitor.register_metrics`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque
+
+__all__ = ["SLO", "SLOSample", "SLOState", "AlertEvent", "BurnRateMonitor"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative service-level objective.
+
+    ``latency_ms``/``latency_target`` state "``latency_target`` of
+    requests finish within ``latency_ms``" (budget fraction
+    ``1 - latency_target``); ``error_rate`` states the allowed failure
+    fraction.  Either may be ``None`` (objective not tracked); the
+    burn rate is the max over the stated objectives.
+    """
+
+    name: str = "serving"
+    latency_ms: float | None = None
+    latency_target: float = 0.99
+    error_rate: float | None = None
+    short_window_s: float = 5.0
+    long_window_s: float = 60.0
+    #: Burn-rate thresholds: fast fires on the short window (actuates
+    #: shedding/routing), slow fires on the long window (alerts).
+    fast_burn: float = 4.0
+    slow_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms is None and self.error_rate is None:
+            raise ValueError("an SLO needs at least one objective")
+        if not (0.0 < self.latency_target < 1.0):
+            raise ValueError("latency_target must be in (0, 1)")
+        if self.error_rate is not None and not (0.0 < self.error_rate < 1.0):
+            raise ValueError("error_rate must be in (0, 1)")
+        if self.short_window_s <= 0 or self.long_window_s < self.short_window_s:
+            raise ValueError("windows must satisfy 0 < short <= long")
+
+    @property
+    def latency_budget(self) -> float:
+        return 1.0 - self.latency_target
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "latency_ms": self.latency_ms,
+            "latency_target": self.latency_target,
+            "error_rate": self.error_rate,
+            "short_window_s": self.short_window_s,
+            "long_window_s": self.long_window_s,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+        }
+
+
+@dataclass(frozen=True)
+class SLOSample:
+    """One *cumulative* reading of the monitored counter stream."""
+
+    now: float
+    requests: int
+    failures: int
+    #: Served requests whose latency exceeded ``SLO.latency_ms``
+    #: (``LatencyHistogram.count_over`` — error-bounded at the
+    #: threshold bucket).
+    over_latency: int
+
+
+@dataclass(frozen=True)
+class SLOState:
+    """The monitor's evaluation at one tick."""
+
+    now: float
+    burn_short: float
+    burn_long: float
+    fast_firing: bool
+    slow_firing: bool
+    requests_short: int
+    requests_long: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "now": self.now,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "fast_firing": self.fast_firing,
+            "slow_firing": self.slow_firing,
+            "requests_short": self.requests_short,
+            "requests_long": self.requests_long,
+        }
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert *edge*: a firing state changed at ``at``."""
+
+    slo: str
+    severity: str  # "fast" | "slow"
+    firing: bool
+    at: float
+    burn: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "slo": self.slo,
+            "severity": self.severity,
+            "firing": self.firing,
+            "at": self.at,
+            "burn": self.burn,
+        }
+
+
+@dataclass
+class _History:
+    samples: Deque[SLOSample] = field(default_factory=deque)
+
+    def prune(self, horizon: float) -> None:
+        while len(self.samples) > 1 and self.samples[1].now <= horizon:
+            self.samples.popleft()
+
+    def at_or_before(self, t: float) -> SLOSample | None:
+        """The newest sample with ``now <= t`` (window baseline)."""
+        best = None
+        for sample in self.samples:
+            if sample.now <= t:
+                best = sample
+            else:
+                break
+        return best
+
+
+class BurnRateMonitor:
+    """Evaluates one :class:`SLO` over a cumulative sample source.
+
+    ``source()`` must return an :class:`SLOSample` with *cumulative*
+    counts (monotone), e.g. :meth:`SieveServer.slo_sample
+    <repro.service.server.SieveServer.slo_sample>`.  Thread-safe: the
+    serving tier calls :meth:`maybe_tick` from worker threads while
+    scrapes read :attr:`state` / :meth:`alerts`.
+    """
+
+    def __init__(
+        self,
+        slo: SLO,
+        source: Callable[[], SLOSample],
+        clock: Callable[[], float] = time.monotonic,
+        max_events: int = 64,
+    ):
+        self.slo = slo
+        self._source = source
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._history = _History()
+        self._events: Deque[AlertEvent] = deque(maxlen=max_events)
+        self._state = SLOState(
+            now=clock(), burn_short=0.0, burn_long=0.0,
+            fast_firing=False, slow_firing=False,
+            requests_short=0, requests_long=0,
+        )
+        self._alerts_total = 0
+        self._last_tick = -float("inf")
+        self._listeners: list[Callable[[SLOState], None]] = []
+
+    # ------------------------------------------------------------- listeners
+
+    def add_listener(self, fn: Callable[[SLOState], None]) -> None:
+        """Called with the fresh :class:`SLOState` after every tick —
+        the hook the adaptive shedder and health routing hang off."""
+        self._listeners.append(fn)
+
+    # ----------------------------------------------------------- evaluation
+
+    def _burn(self, newest: SLOSample, baseline: SLOSample | None) -> tuple[float, int]:
+        if baseline is None:
+            return 0.0, 0
+        requests = newest.requests - baseline.requests
+        if requests <= 0:
+            return 0.0, 0
+        burn = 0.0
+        if self.slo.latency_ms is not None:
+            bad = newest.over_latency - baseline.over_latency
+            burn = max(burn, (bad / requests) / self.slo.latency_budget)
+        if self.slo.error_rate is not None:
+            failed = newest.failures - baseline.failures
+            burn = max(burn, (failed / requests) / self.slo.error_rate)
+        return burn, requests
+
+    def tick(self, now: float | None = None) -> SLOState:
+        """Read one sample, evaluate both windows, emit edge events."""
+        sample = self._source()
+        with self._lock:
+            if now is None:
+                now = sample.now
+            self._last_tick = now
+            history = self._history
+            history.samples.append(sample)
+            history.prune(now - self.slo.long_window_s)
+            # A monitor younger than the window falls back to its
+            # oldest sample — the window is min(window, age), so a
+            # burst in the monitor's first seconds still registers.
+            baseline_short = (
+                history.at_or_before(now - self.slo.short_window_s)
+                or history.samples[0]
+            )
+            burn_short, req_short = self._burn(sample, baseline_short)
+            burn_long, req_long = self._burn(sample, history.samples[0])
+            fast = burn_short >= self.slo.fast_burn
+            slow = burn_long >= self.slo.slow_burn
+            previous = self._state
+            state = SLOState(
+                now=now,
+                burn_short=burn_short,
+                burn_long=burn_long,
+                fast_firing=fast,
+                slow_firing=slow,
+                requests_short=req_short,
+                requests_long=req_long,
+            )
+            self._state = state
+            if fast != previous.fast_firing:
+                self._alerts_total += fast
+                self._events.append(
+                    AlertEvent(self.slo.name, "fast", fast, now, burn_short)
+                )
+            if slow != previous.slow_firing:
+                self._alerts_total += slow
+                self._events.append(
+                    AlertEvent(self.slo.name, "slow", slow, now, burn_long)
+                )
+            listeners = list(self._listeners)
+        for fn in listeners:
+            fn(state)
+        return state
+
+    def maybe_tick(self, min_interval_s: float = 0.05) -> SLOState | None:
+        """Tick only if ``min_interval_s`` elapsed since the last tick
+        — cheap enough (one clock read) to call per completed request."""
+        now = self._clock()
+        with self._lock:
+            if now - self._last_tick < min_interval_s:
+                return None
+            # Reserve the slot before releasing the lock so concurrent
+            # completers do not stampede into tick().
+            self._last_tick = now
+        return self.tick(now=now)
+
+    # ------------------------------------------------------------ exposition
+
+    @property
+    def state(self) -> SLOState:
+        with self._lock:
+            return self._state
+
+    @property
+    def alerts_total(self) -> int:
+        with self._lock:
+            return self._alerts_total
+
+    def alerts(self) -> list[AlertEvent]:
+        """Recent alert edges, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._events)
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            state, events, total = self._state, list(self._events), self._alerts_total
+        return {
+            "slo": self.slo.to_dict(),
+            "state": state.to_dict(),
+            "alerts_total": total,
+            "alerts": [e.to_dict() for e in events],
+        }
+
+    def register_metrics(self, registry: Any) -> None:
+        """Expose the live burn gauges and the alert-edge counter in a
+        :class:`~repro.obs.metrics.MetricsRegistry` (Prometheus label
+        ``slo="<name>"``, burn gauges additionally ``window=``)."""
+        name = self.slo.name
+
+        registry.register_gauge(
+            "sieve_slo_burn_rate",
+            "Error-budget burn rate (1.0 = exactly on budget)",
+            lambda: {
+                (("slo", name), ("window", "short")): self.state.burn_short,
+                (("slo", name), ("window", "long")): self.state.burn_long,
+            },
+        )
+        registry.register_gauge(
+            "sieve_slo_firing",
+            "Whether a burn alert is firing (fast=actuating, slow=alerting)",
+            lambda: {
+                (("severity", "fast"), ("slo", name)): float(self.state.fast_firing),
+                (("severity", "slow"), ("slo", name)): float(self.state.slow_firing),
+            },
+        )
+        registry.register_counter(
+            "sieve_slo_alerts_total",
+            "Alert firing edges observed by the burn-rate monitor",
+            lambda: self.alerts_total,
+            labels={"slo": name},
+        )

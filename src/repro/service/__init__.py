@@ -21,7 +21,12 @@ from repro.common.errors import (
     ServiceStoppedError,
     ShardUnavailableError,
 )
-from repro.service.admission import AdmissionQueue, Batch, ServiceRequest
+from repro.service.admission import (
+    AdaptiveShedder,
+    AdmissionQueue,
+    Batch,
+    ServiceRequest,
+)
 from repro.service.server import (
     LatencySummary,
     ServiceStats,
@@ -30,6 +35,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AdaptiveShedder",
     "AdmissionQueue",
     "Batch",
     "ClusterError",

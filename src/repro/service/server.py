@@ -37,7 +37,17 @@ What each layer buys under concurrency:
   serial);
 * the **bounded queue** turns overload into fast, explicit
   :class:`~repro.common.errors.ServiceOverloadedError` rejections
-  instead of unbounded latency.
+  instead of unbounded latency;
+* latency populations (service, queue wait, end-to-end total) are
+  **log-bucketed histograms** (:mod:`repro.obs.histogram`) — exactly
+  mergeable across shards, error-bounded quantiles — and with
+  :meth:`SieveServer.enable_slo` a **burn-rate monitor**
+  (:mod:`repro.obs.slo`) watches the end-to-end population and clamps
+  admission (:class:`~repro.service.admission.AdaptiveShedder`)
+  while the latency budget burns fast, so the requests that *are*
+  served stay inside budget; ``health()`` / ``health_json()`` roll
+  the whole story up to healthy/degraded/unhealthy
+  (:mod:`repro.obs.health`).
 
 Throughput scales with workers only as far as the engine allows: the
 bundled pure-Python engine serializes on the GIL (workers buy
@@ -51,25 +61,34 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.common.errors import ServiceOverloadedError, ServiceStoppedError
 from repro.core.middleware import Sieve
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.slo import SLO, BurnRateMonitor, SLOSample
 from repro.obs.tracing import (
     clear_inherited_trace_id,
     current_trace_id,
     set_inherited_trace_id,
 )
-from repro.service.admission import AdmissionQueue, Batch, ServiceRequest
+from repro.service.admission import AdaptiveShedder, AdmissionQueue, Batch, ServiceRequest
 
 DEFAULT_WORKERS = 4
 DEFAULT_MAX_PENDING = 1024
 DEFAULT_MAX_BATCH = 16
-#: Bound on retained latency samples (old samples age out FIFO).
+#: Retained for signature compatibility with the reservoir-sampled
+#: latency accounting this tier used before the histogram tier:
+#: latency populations now live in bounded-by-construction
+#: :class:`~repro.obs.histogram.LatencyHistogram` buckets (O(buckets)
+#: memory however many requests are served), so nothing ages out and
+#: this knob bounds nothing.
 DEFAULT_SAMPLE_CAPACITY = 100_000
+#: The SLO monitor ticks at most this often (piggybacked on request
+#: admission/completion — no background thread).
+SLO_TICK_INTERVAL_S = 0.05
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -119,6 +138,23 @@ class LatencySummary:
         )
 
     @classmethod
+    def of_histogram(cls, hist: LatencyHistogram) -> "LatencySummary":
+        """The histogram-backed summary: count and mean are exact,
+        quantiles carry the histogram's documented relative error
+        bound (:attr:`LatencyHistogram.relative_error
+        <repro.obs.histogram.LatencyHistogram.relative_error>`,
+        ~2.5% at the default bucketing)."""
+        if not hist.count:
+            return cls()
+        return cls(
+            count=hist.count,
+            mean_ms=hist.mean_ms,
+            p50_ms=hist.percentile(50),
+            p95_ms=hist.percentile(95),
+            p99_ms=hist.percentile(99),
+        )
+
+    @classmethod
     def merge(cls, summaries: "Sequence[LatencySummary]") -> "LatencySummary":
         """Combine per-shard summaries into one cluster-level summary
         (:class:`~repro.cluster.ClusterStats`).
@@ -129,6 +165,14 @@ class LatencySummary:
         inputs' — exact when shards have similar latency shapes (the
         homogeneous-shard case the cluster is built for) and documented
         as an approximation otherwise.
+
+        The cluster no longer relies on this approximation on its main
+        path: when every shard's :class:`ServiceStats` carries its
+        :class:`~repro.obs.histogram.LatencyHistogram`, the roll-up
+        merges the histograms *exactly* and summarizes the merged
+        population (see :meth:`ClusterStats.merge
+        <repro.cluster.coordinator.ClusterStats.merge>`).  This method
+        remains the documented fallback for summary-only inputs.
         """
         populated = [s for s in summaries if s.count]
         total = sum(s.count for s in populated)
@@ -192,6 +236,18 @@ class ServiceStats:
     queue_wait: LatencySummary = field(default_factory=LatencySummary)
     guard_cache: dict[str, float] = field(default_factory=dict)
     rewrite_cache: dict[str, float] | None = None
+    #: Rejections issued by the adaptive shedder specifically (a
+    #: subset of ``rejections``; 0 when no SLO clamp is configured).
+    sheds: int = 0
+    #: End-to-end latency (submit → result, queue wait included) —
+    #: what the serving SLO is stated over.
+    total_latency: LatencySummary = field(default_factory=LatencySummary)
+    #: Histogram snapshots behind the three summaries (``None`` for
+    #: hand-built stats, e.g. in tests) — the cluster merges these
+    #: exactly instead of count-weighting quantiles.
+    latency_hist: LatencyHistogram | None = None
+    queue_wait_hist: LatencyHistogram | None = None
+    total_latency_hist: LatencyHistogram | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -216,9 +272,11 @@ class ServiceStats:
             "batches": self.batches,
             "rejections": self.rejections,
             "failures": self.failures,
+            "sheds": self.sheds,
             "mean_batch_size": self.mean_batch_size,
             "latency": self.latency.to_dict(),
             "queue_wait": self.queue_wait.to_dict(),
+            "total_latency": self.total_latency.to_dict(),
             "guard_cache": dict(self.guard_cache),
             "rewrite_cache": (
                 dict(self.rewrite_cache) if self.rewrite_cache is not None else None
@@ -257,6 +315,7 @@ class SieveServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
         rewrite_cache_capacity: int = 256,
+        shedder: AdaptiveShedder | None = None,
     ):
         if workers <= 0:
             raise ValueError("worker count must be positive")
@@ -275,8 +334,22 @@ class SieveServer:
         self._batches = 0
         self._rejections = 0
         self._failures = 0
-        self._latency_s: "deque[float]" = deque(maxlen=sample_capacity)
-        self._queue_wait_s: "deque[float]" = deque(maxlen=sample_capacity)
+        self._sheds = 0
+        # Log-bucketed, exactly-mergeable latency populations (see
+        # repro.obs.histogram): service time, queue wait, and the
+        # end-to-end total the SLO is stated over.
+        self._latency_hist = LatencyHistogram()
+        self._queue_wait_hist = LatencyHistogram()
+        self._total_hist = LatencyHistogram()
+        #: SLO-aware admission clamp (None = never sheds); usually
+        #: installed by :meth:`enable_slo` rather than passed directly.
+        self.shedder = shedder
+        #: Burn-rate monitor driving the shedder (:meth:`enable_slo`).
+        self.slo_monitor: BurnRateMonitor | None = None
+        #: Fault injection: per-request service-time padding (seconds).
+        #: The cluster's ``slow_shard`` sets this to simulate one shard
+        #: answering slowly without touching the engine.
+        self.inject_delay_s: float = 0.0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -337,6 +410,22 @@ class SieveServer:
     def _admit(self, sql: Any, querier: Any, purpose: str, with_info: bool) -> "Future[Any]":
         if not self.running:
             raise ServiceStoppedError("server is not running (call start())")
+        # Keep the burn-rate monitor ticking from the submission side
+        # too: under full overload no request completes quickly, and
+        # recovery (hysteresis release) must not wait on completions.
+        self._tick_slo()
+        if self.shedder is not None and self.shedder.should_shed(
+            self._queue.pending(), self._queue.max_pending
+        ):
+            with self._lock:
+                self._sheds += 1
+                self._rejections += 1
+                self.sieve.db.counters.service_rejections += 1
+            raise ServiceOverloadedError(
+                "admission clamped: the latency SLO is burning fast "
+                f"(effective capacity {self.shedder.capacity(self._queue.max_pending)} "
+                f"of {self._queue.max_pending})"
+            )
         request = ServiceRequest(
             sql=sql,
             querier=querier,
@@ -461,6 +550,8 @@ class SieveServer:
             failed = False
             if request.trace_id:
                 set_inherited_trace_id(request.trace_id)
+            if self.inject_delay_s > 0.0:
+                time.sleep(self.inject_delay_s)
             try:
                 if request.with_info:
                     result: Any = session.execute_with_info(request.sql)
@@ -491,25 +582,50 @@ class SieveServer:
             if failed:
                 self._failures += 1
                 counters.service_failures += 1
-            self._latency_s.append(request.service_s)
-            self._queue_wait_s.append(request.queue_wait_s)
+            self._latency_hist.record_seconds(request.service_s)
+            self._queue_wait_hist.record_seconds(request.queue_wait_s)
+            self._total_hist.record_seconds(
+                max(0.0, request.finished_at - request.submitted_at)
+            )
             counters.service_requests += 1
             counters.service_queue_wait_us += int(request.queue_wait_s * 1_000_000)
             counters.service_exec_us += int(request.service_s * 1_000_000)
+        # Outside the lock: the tick's sample source re-takes it.
+        self._tick_slo()
+
+    def _tick_slo(self) -> None:
+        monitor = self.slo_monitor
+        if monitor is not None:
+            monitor.maybe_tick(SLO_TICK_INTERVAL_S)
 
     # ----------------------------------------------------------- accounting
 
+    def pending(self) -> int:
+        """Requests queued, not yet picked up by a worker."""
+        return self._queue.pending()
+
+    @property
+    def max_pending(self) -> int:
+        """The admission queue's static bound."""
+        return self._queue.max_pending
+
+    def alive_workers(self) -> int:
+        """Worker threads currently alive (health-check source)."""
+        return sum(thread.is_alive() for thread in self._threads)
+
     def stats(self) -> ServiceStats:
-        # Snapshot under the lock, summarize (sorts!) outside it —
-        # workers must never stall in _record() behind a monitoring
-        # poll sorting 100k samples.
+        # Snapshot under the lock (histogram copies are O(buckets)),
+        # summarize outside it — workers must never stall in _record()
+        # behind a monitoring poll.
         with self._lock:
-            latency_s = list(self._latency_s)
-            queue_wait_s = list(self._queue_wait_s)
+            latency_hist = self._latency_hist.copy()
+            queue_wait_hist = self._queue_wait_hist.copy()
+            total_hist = self._total_hist.copy()
             requests = self._requests
             batches = self._batches
             rejections = self._rejections
             failures = self._failures
+            sheds = self._sheds
         rewrite_cache = self.sieve.rewrite_cache
         return ServiceStats(
             workers=self.workers,
@@ -518,13 +634,107 @@ class SieveServer:
             batches=batches,
             rejections=rejections,
             failures=failures,
-            latency=LatencySummary.of_seconds(latency_s),
-            queue_wait=LatencySummary.of_seconds(queue_wait_s),
+            sheds=sheds,
+            latency=LatencySummary.of_histogram(latency_hist),
+            queue_wait=LatencySummary.of_histogram(queue_wait_hist),
+            total_latency=LatencySummary.of_histogram(total_hist),
+            latency_hist=latency_hist,
+            queue_wait_hist=queue_wait_hist,
+            total_latency_hist=total_hist,
             guard_cache=self.sieve.guard_cache.stats.snapshot(),
             rewrite_cache=(
                 rewrite_cache.stats.snapshot() if rewrite_cache is not None else None
             ),
         )
+
+    # ------------------------------------------------------------ health/SLO
+
+    def slo_sample(self, threshold_ms: float | None) -> SLOSample:
+        """One cumulative reading for a
+        :class:`~repro.obs.slo.BurnRateMonitor`: served requests,
+        failures, and — against ``threshold_ms`` — how many *total*
+        (queue wait + service) latencies exceeded the SLO threshold."""
+        now = time.monotonic()
+        with self._lock:
+            return SLOSample(
+                now=now,
+                requests=self._requests,
+                failures=self._failures,
+                over_latency=(
+                    self._total_hist.count_over(threshold_ms)
+                    if threshold_ms is not None
+                    else 0
+                ),
+            )
+
+    def enable_slo(
+        self,
+        slo: SLO,
+        shed: bool = True,
+        shed_cooldown_s: float | None = None,
+        clock: Any = time.monotonic,
+    ) -> BurnRateMonitor:
+        """Attach a burn-rate monitor for ``slo`` (idempotent), and —
+        with ``shed`` (default) — the adaptive admission clamp.
+
+        The monitor ticks piggybacked on admissions/completions (no
+        background thread).  When its fast-burn alert fires, the
+        shedder clamps the effective queue to a quarter of the depth
+        the latency budget could absorb — ``0.25 * latency_ms / mean
+        service time * workers`` requests, derived live from the
+        latency histogram — and releases only after the burn has
+        stayed clear for the cool-down (default: the SLO's short
+        window).  The quarter (not half) targets a steady-state queue
+        wait well under the budget so the p99 — queue wait plus the
+        service-time and scheduler tail — still lands inside it.
+        """
+        if self.slo_monitor is not None:
+            return self.slo_monitor
+        monitor = BurnRateMonitor(
+            slo, source=lambda: self.slo_sample(slo.latency_ms), clock=clock
+        )
+        if shed:
+            def budget_capacity() -> int:
+                if slo.latency_ms is None:
+                    return int(self._queue.max_pending * 0.125)
+                with self._lock:
+                    mean_ms = self._latency_hist.mean_ms
+                if mean_ms <= 0.0:
+                    return int(self._queue.max_pending * 0.125)
+                return max(1, int(0.25 * slo.latency_ms / mean_ms * self.workers))
+
+            self.shedder = AdaptiveShedder(
+                cooldown_s=(
+                    shed_cooldown_s if shed_cooldown_s is not None else slo.short_window_s
+                ),
+                capacity_fn=budget_capacity,
+                clock=clock,
+            )
+            monitor.add_listener(
+                lambda state: self.shedder.signal(state.fast_firing, now=state.now)
+            )
+        self.slo_monitor = monitor
+        return monitor
+
+    def health_registry(self) -> Any:
+        """The server's :class:`~repro.obs.health.HealthRegistry`
+        (built lazily, once)."""
+        registry = getattr(self, "_health_registry", None)
+        if registry is None:
+            from repro.obs.health import server_health
+
+            registry = self._health_registry = server_health(self)
+        return registry
+
+    def health(self) -> Any:
+        """The rolled-up :class:`~repro.obs.health.HealthReport`:
+        worker-pool liveness, admission depth/shedding, policy
+        snapshot consistency, cache hit-rate floors, SLO burn state."""
+        return self.health_registry().report()
+
+    def health_json(self) -> dict[str, Any]:
+        """JSON-ready :meth:`health` (the ``/health`` endpoint body)."""
+        return self.health().to_dict()
 
     # -------------------------------------------------------------- metrics
 

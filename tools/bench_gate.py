@@ -1,0 +1,321 @@
+"""Bench regression gate: fresh smoke benches vs committed baselines.
+
+Each performance-bearing benchmark writes a repo-root ``BENCH_*.json``
+snapshot; those files are committed, so they *are* the performance
+baseline the repo claims.  This gate makes the claim enforceable:
+
+1. snapshot the committed ``BENCH_*.json`` baselines,
+2. re-run the selected benchmarks in smoke mode (short, env-tuned
+   durations — the same knobs the CI smoke jobs use),
+3. compare the freshly-emitted snapshots against the baselines,
+   metric by metric, with per-metric tolerances,
+4. restore the committed baselines (the gate never dirties the tree).
+
+A metric regressing past its tolerance — by default more than
+:data:`DEFAULT_REL_TOL` (20%) in the unfavourable direction — fails
+the gate.  Tolerances come in two shapes because the metrics do:
+
+* **relative** for ratio-like, strictly-positive metrics (speedups,
+  attribution, reduction factors), where "20% worse" is meaningful;
+* **absolute** for near-zero, noise-dominated metrics (instrumented
+  overhead fractions, histogram quantile errors), where a relative
+  comparison against a ~0 (or negative) baseline is ill-conditioned.
+
+Latency/throughput absolutes (qps, p99 ms) are deliberately *not*
+gated: they measure the host, not the code, and the benchmarks
+already assert the shape claims that matter (e.g. the health bench
+asserts shed p99 stays inside the SLO budget — gated here as the
+host-normalized ``shed_p99 / budget`` ratio instead).
+
+Usage::
+
+    python tools/bench_gate.py                 # the full gate
+    python tools/bench_gate.py --only obs,engine
+    python tools/bench_gate.py --list          # show benches + metrics
+
+``make bench-gate`` and the CI ``bench-gate`` job run this; any bench
+whose own assertions fail also fails the gate (its output is shown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A metric may regress by this fraction (in its bad direction) before
+#: the gate fails — the ISSUE's ">20% is a regression" line.
+DEFAULT_REL_TOL = 0.20
+
+
+def _path(dotted: str) -> Callable[[dict], float]:
+    def get(payload: dict) -> float:
+        value: Any = payload
+        for part in dotted.split("."):
+            value = value[part]
+        return float(value)
+
+    return get
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One gated number: where it lives, which direction is good, and
+    how much unfavourable drift the gate absorbs."""
+
+    name: str
+    getter: Callable[[dict], float]
+    #: "higher" = bigger is better (speedups); "lower" = smaller is
+    #: better (overheads, error fractions).
+    kind: str = "higher"
+    rel_tol: float | None = DEFAULT_REL_TOL
+    abs_tol: float | None = None
+
+    def check(self, baseline: float, fresh: float) -> tuple[bool, str]:
+        if self.abs_tol is not None:
+            # Anchor lower-is-better tolerances at zero: a negative
+            # baseline (an overhead ratio that got lucky on a quiet
+            # host) is timing noise, and letting it ratchet the gate
+            # below the tolerance band would fail honest runs.
+            if self.kind == "higher":
+                ok = fresh >= baseline - self.abs_tol
+            else:
+                ok = fresh <= max(baseline, 0.0) + self.abs_tol
+            return ok, f"abs tol {self.abs_tol:g}"
+        tol = self.rel_tol if self.rel_tol is not None else DEFAULT_REL_TOL
+        if baseline <= 0.0:
+            # Relative drift from a non-positive baseline is
+            # ill-conditioned; treat any fresh value on the good side
+            # of the baseline as a pass and flag the metric spec.
+            ok = fresh >= baseline if self.kind == "higher" else fresh <= baseline
+            return ok, "non-positive baseline (want abs_tol)"
+        if self.kind == "higher":
+            ok = fresh >= baseline * (1.0 - tol)
+        else:
+            ok = fresh <= baseline * (1.0 + tol)
+        return ok, f"rel tol {tol:.0%}"
+
+
+@dataclass(frozen=True)
+class GateBench:
+    """One benchmark the gate can run: its file, the snapshot it
+    emits, the metrics gated on that snapshot, and the smoke-mode
+    environment it runs under."""
+
+    key: str
+    bench_file: str
+    snapshot: str
+    metrics: tuple[Metric, ...]
+    env: dict[str, str] = field(default_factory=dict)
+
+
+def _shed_budget_ratio(payload: dict) -> float:
+    return float(payload["burst"]["shed_p99_ms"]) / float(payload["burst"]["budget_ms"])
+
+
+BENCHES: tuple[GateBench, ...] = (
+    GateBench(
+        key="engine",
+        bench_file="benchmarks/bench_engine_vectorized.py",
+        snapshot="BENCH_engine.json",
+        metrics=(
+            Metric("speedup_exec_vectorized_vs_tuple",
+                   _path("speedup_exec_vectorized_vs_tuple"), "higher"),
+            Metric("speedup_e2e_vectorized_vs_tuple",
+                   _path("speedup_e2e_vectorized_vs_tuple"), "higher"),
+        ),
+    ),
+    GateBench(
+        key="service",
+        bench_file="benchmarks/bench_service_throughput.py",
+        snapshot="BENCH_service.json",
+        metrics=(
+            # Worker scaling is a ratio of same-host runs, so it
+            # transfers across hosts; absolute qps does not.
+            Metric("scaling_1to4_bundled", _path("scaling_1to4_bundled"),
+                   "higher", rel_tol=0.30),
+        ),
+        env={"SIEVE_BENCH_SERVICE_DURATION": "1.5"},
+    ),
+    GateBench(
+        key="cluster",
+        bench_file="benchmarks/bench_cluster.py",
+        snapshot="BENCH_cluster.json",
+        metrics=(
+            Metric("reduction_factor", _path("reduction_factor"), "higher"),
+            Metric("rebalance.moved_fraction", _path("rebalance.moved_fraction"),
+                   "lower", abs_tol=0.15),
+        ),
+        env={"SIEVE_BENCH_CLUSTER_DURATION": "1.0"},
+    ),
+    GateBench(
+        key="audit",
+        bench_file="benchmarks/bench_audit.py",
+        snapshot="BENCH_audit.json",
+        metrics=(
+            Metric("overhead", _path("overhead"), "lower", abs_tol=0.03),
+        ),
+    ),
+    GateBench(
+        key="obs",
+        bench_file="benchmarks/bench_obs.py",
+        snapshot="BENCH_obs.json",
+        metrics=(
+            Metric("attribution", _path("attribution"), "higher", rel_tol=0.05),
+            Metric("overhead_best", _path("overhead_best"), "lower", abs_tol=0.03),
+        ),
+    ),
+    GateBench(
+        key="health",
+        bench_file="benchmarks/bench_health.py",
+        snapshot="BENCH_health.json",
+        metrics=(
+            Metric("histogram.p99.rel_err", _path("histogram.p99.rel_err"),
+                   "lower", abs_tol=0.01),
+            Metric("overhead_best", _path("overhead_best"), "lower", abs_tol=0.03),
+            Metric("burst.shed_p99/budget", _shed_budget_ratio, "lower",
+                   abs_tol=0.25),
+        ),
+        env={"SIEVE_BENCH_HEALTH_DURATION": "2.0"},
+    ),
+)
+
+
+@dataclass
+class MetricOutcome:
+    bench: str
+    metric: str
+    baseline: float
+    fresh: float
+    ok: bool
+    tolerance: str
+
+
+def run_bench(bench: GateBench, python: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.update(bench.env)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(REPO_ROOT / "src")
+    )
+    return subprocess.run(
+        [python, "-m", "pytest", bench.bench_file, "-q", "--benchmark-only"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def gate(
+    benches: "tuple[GateBench, ...]", python: str = sys.executable
+) -> tuple[list[MetricOutcome], list[str]]:
+    """Run every bench, compare, restore.  Returns (metric outcomes,
+    hard errors — missing baselines or failing bench runs)."""
+    outcomes: list[MetricOutcome] = []
+    errors: list[str] = []
+    for bench in benches:
+        snapshot_path = REPO_ROOT / bench.snapshot
+        if not snapshot_path.exists():
+            errors.append(
+                f"{bench.key}: no committed baseline {bench.snapshot} — run "
+                f"`pytest {bench.bench_file} --benchmark-only` once and commit it"
+            )
+            continue
+        baseline_text = snapshot_path.read_text()
+        baseline = json.loads(baseline_text)
+        print(f"[bench-gate] running {bench.key} ({bench.bench_file}) ...", flush=True)
+        try:
+            proc = run_bench(bench, python)
+            if proc.returncode != 0:
+                errors.append(
+                    f"{bench.key}: benchmark run failed "
+                    f"(exit {proc.returncode})\n{proc.stdout[-2000:]}"
+                )
+                continue
+            fresh = json.loads(snapshot_path.read_text())
+        finally:
+            # The committed snapshot is the baseline of record; never
+            # leave the fresh run's numbers behind.
+            snapshot_path.write_text(baseline_text)
+        for metric in bench.metrics:
+            base_v = metric.getter(baseline)
+            fresh_v = metric.getter(fresh)
+            ok, tolerance = metric.check(base_v, fresh_v)
+            outcomes.append(
+                MetricOutcome(bench.key, metric.name, base_v, fresh_v, ok, tolerance)
+            )
+    return outcomes, errors
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        help="comma-separated bench keys to gate (default: all)",
+        default=None,
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benches + gated metrics and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for bench in BENCHES:
+            print(f"{bench.key}: {bench.bench_file} -> {bench.snapshot}")
+            for metric in bench.metrics:
+                tol = (
+                    f"abs {metric.abs_tol:g}"
+                    if metric.abs_tol is not None
+                    else f"rel {metric.rel_tol:.0%}"
+                )
+                print(f"    {metric.name}  ({metric.kind} is better, {tol})")
+        return 0
+
+    selected = BENCHES
+    if args.only:
+        keys = {k.strip() for k in args.only.split(",") if k.strip()}
+        unknown = keys - {b.key for b in BENCHES}
+        if unknown:
+            parser.error(
+                f"unknown bench keys {sorted(unknown)}; "
+                f"known: {sorted(b.key for b in BENCHES)}"
+            )
+        selected = tuple(b for b in BENCHES if b.key in keys)
+
+    outcomes, errors = gate(selected)
+
+    width = max((len(f"{o.bench}.{o.metric}") for o in outcomes), default=10)
+    print()
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'fresh':>12}  verdict")
+    print("-" * (width + 44))
+    for o in outcomes:
+        verdict = "ok" if o.ok else "REGRESSION"
+        print(
+            f"{o.bench + '.' + o.metric:<{width}}  {o.baseline:>12.4f}  "
+            f"{o.fresh:>12.4f}  {verdict} ({o.tolerance})"
+        )
+    for err in errors:
+        print(f"\n[bench-gate] ERROR: {err}")
+
+    failed = [o for o in outcomes if not o.ok]
+    if failed or errors:
+        print(
+            f"\n[bench-gate] FAILED: {len(failed)} metric regression(s), "
+            f"{len(errors)} bench error(s)"
+        )
+        return 1
+    print(f"\n[bench-gate] OK: {len(outcomes)} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
