@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit bench-obs bench-health bench-gate health-report replay trace-dump audit-oracle docs-check
+.PHONY: test bench-smoke bench bench-backend bench-engine bench-service bench-cluster bench-audit bench-obs bench-health bench-faults bench-gate chaos-report health-report replay trace-dump audit-oracle docs-check
 
 # Tier-1 gate: the full unit/integration suite.
 test:
@@ -55,6 +55,18 @@ bench-obs:
 # blows through), and the slow-shard detour; writes BENCH_health.json.
 bench-health:
 	$(PYTHON) -m pytest benchmarks/bench_health.py -q --benchmark-only
+
+# The fault tier: resilient-path overhead at the noise floor (target
+# <5% fault-free), crash -> supervisor-rebuild recovery time, and a
+# zero-divergence chaos smoke slice; writes repo-root BENCH_faults.json.
+bench-faults:
+	$(PYTHON) -m pytest benchmarks/bench_faults.py -q --benchmark-only
+
+# Chaos smoke: replay a seeded matrix of fault plans against the
+# fault-free oracle and print the per-seed outcome table (exits
+# non-zero on any divergence or missing teeth).
+chaos-report:
+	$(PYTHON) tools/chaos_report.py
 
 # Regression gate: re-runs the snapshot-emitting benches in smoke mode
 # and compares each gated metric against the committed BENCH_*.json

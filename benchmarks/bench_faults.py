@@ -1,0 +1,179 @@
+"""Fault-tolerance bench — what crash safety costs when nothing crashes.
+
+Not a paper figure: this measures the fault tier (``repro/faults``
+plus the coordinator's resilient path) layered on the reproduction.
+Three claims, the first two about cost and one about correctness:
+
+* **fault-free overhead** — the resilient execute path (deadline
+  stamping, retry bookkeeping, a hedge timer that never fires) must
+  cost almost nothing when no fault fires: measured as the relative
+  latency overhead vs the legacy fail-fast path on an identical query
+  stream, target < 5% (asserted loosely in-bench against
+  ``MAX_OVERHEAD`` to absorb host noise; the bench gate holds the
+  committed baseline to a tight absolute band);
+* **recovery time** — after a shard *process* crash, one supervisor
+  pass must rebuild it from the authoritative store fast enough that
+  the crashed shard's queriers are answering again well under a
+  second on any reasonable host (asserted < ``MAX_RECOVERY_S``);
+* **zero divergence** — a smoke slice of the chaos differential
+  (``SIEVE_BENCH_FAULTS_PLANS`` seeded plans) must answer with zero
+  divergences, wiring the fail-closed contract into the bench gate.
+
+Results go to ``benchmarks/results/fault_tolerance.*`` and the
+repo-root ``BENCH_faults.json``; ``make bench-faults`` / CI's
+chaos-smoke job emit them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.bench.results import format_table, write_result
+from repro.cluster import RetryPolicy, ShardUnavailableError, SieveCluster
+from repro.common.errors import DeadlineExceededError
+from repro.faults.chaos import (
+    MEASURED_QUERIERS,
+    N_SHARDS,
+    PURPOSE,
+    QUERIES,
+    build_world,
+    run_chaos_plan,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Queries per measurement round (per path, per round).
+N_QUERIES = int(os.environ.get("SIEVE_BENCH_FAULTS_QUERIES", "300"))
+ROUNDS = 5
+#: Chaos plans in the zero-divergence smoke slice.
+N_PLANS = int(os.environ.get("SIEVE_BENCH_FAULTS_PLANS", "10"))
+#: In-bench noise guard for the < 5% overhead target.
+MAX_OVERHEAD = float(os.environ.get("SIEVE_BENCH_FAULTS_MAX_OVERHEAD", "0.10"))
+MAX_RECOVERY_S = 2.0
+#: Far above fault-free latency, so the hedge timer never fires.
+HEDGE_DELAY_S = 0.25
+
+
+def _stream(cluster, *, deadline_s=None) -> float:
+    """Serve the same deterministic query stream; return wall seconds."""
+    started = time.perf_counter()
+    for i in range(N_QUERIES):
+        querier = MEASURED_QUERIERS[i % len(MEASURED_QUERIERS)]
+        sql = QUERIES[i % len(QUERIES)]
+        cluster.execute(sql, querier, PURPOSE, deadline_s=deadline_s)
+    return time.perf_counter() - started
+
+
+def _make_cluster(db, store, **kwargs):
+    return SieveCluster.replicated(
+        db, store, n_shards=N_SHARDS, workers_per_shard=2, **kwargs
+    )
+
+
+def test_fault_tolerance(benchmark):
+    results: dict = {}
+
+    def run():
+        results.clear()
+        # --- fault-free overhead: legacy vs resilient path ----------
+        db, store, _ = build_world()
+        retry = RetryPolicy(
+            max_attempts=3, base_backoff_s=0.005, hedge_delay_s=HEDGE_DELAY_S
+        )
+        legacy_s = []
+        resilient_s = []
+        with _make_cluster(db, store) as legacy:
+            _stream(legacy)  # warm caches once
+            with _make_cluster(db, store, retry_policy=retry) as resilient:
+                _stream(resilient, deadline_s=30.0)
+                # Interleave rounds so drift hits both paths equally.
+                for _ in range(ROUNDS):
+                    legacy_s.append(_stream(legacy))
+                    resilient_s.append(_stream(resilient, deadline_s=30.0))
+        overhead = min(resilient_s) / min(legacy_s) - 1.0
+        results["overhead_resilient"] = overhead
+        results["legacy_qps"] = N_QUERIES / min(legacy_s)
+        results["resilient_qps"] = N_QUERIES / min(resilient_s)
+
+        # --- recovery time after a shard process crash --------------
+        db, store, _ = build_world()
+        with _make_cluster(db, store) as cluster:
+            querier = MEASURED_QUERIERS[0]
+            expected = cluster.execute(QUERIES[0], querier, PURPOSE).rows
+            crashed_at = time.perf_counter()
+            cluster.crash_shard(cluster.route(querier))
+            recovered_at = None
+            while time.perf_counter() - crashed_at < 30.0:
+                cluster.supervise()
+                try:
+                    rows = cluster.execute(
+                        QUERIES[0], querier, PURPOSE, deadline_s=1.0
+                    ).rows
+                except (ShardUnavailableError, DeadlineExceededError):
+                    continue
+                assert sorted(rows) == sorted(expected)
+                recovered_at = time.perf_counter()
+                break
+            assert recovered_at is not None, "shard never recovered"
+            results["recovery_s"] = recovered_at - crashed_at
+
+        # --- chaos smoke: zero divergence across seeded plans -------
+        divergences = []
+        for seed in range(N_PLANS):
+            outcome = run_chaos_plan(seed)
+            divergences.extend(outcome.divergences)
+        results["chaos_plans"] = N_PLANS
+        results["chaos_divergences"] = len(divergences)
+        assert not divergences, divergences[:3]
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    overhead = results["overhead_resilient"]
+    recovery_s = results["recovery_s"]
+    table = format_table(
+        ["metric", "value", "bound"],
+        [
+            ["resilient-path overhead", f"{overhead:+.2%}", f"< {MAX_OVERHEAD:.0%}"],
+            ["legacy qps", f"{results['legacy_qps']:,.0f}", "-"],
+            ["resilient qps", f"{results['resilient_qps']:,.0f}", "-"],
+            ["crash recovery", f"{recovery_s * 1000:,.1f} ms",
+             f"< {MAX_RECOVERY_S:.0f} s"],
+            ["chaos divergences", results["chaos_divergences"],
+             f"0 across {N_PLANS} plans"],
+        ],
+    )
+    data = {
+        "workload": "fault-tolerance-tier",
+        "overhead_resilient": round(overhead, 4),
+        "overhead_target": 0.05,
+        "legacy_qps": results["legacy_qps"],
+        "resilient_qps": results["resilient_qps"],
+        "recovery_s": round(recovery_s, 4),
+        "chaos_plans": N_PLANS,
+        "chaos_divergences": results["chaos_divergences"],
+    }
+    write_result(
+        "fault_tolerance",
+        "Fault tier — resilient-path overhead, crash recovery, chaos smoke",
+        table,
+        data=data,
+        notes=(
+            "Overhead compares the same query stream through the legacy "
+            "fail-fast execute and the resilient path (deadline + retry "
+            "policy + an unfired hedge timer) on a fault-free cluster; "
+            "min-of-rounds, interleaved.  Recovery is crash_shard() to the "
+            "first correct answer after supervisor rebuild.  The chaos "
+            f"smoke replays {N_PLANS} seeded fault plans and requires zero "
+            "row-identity divergences (the full sweep lives in "
+            "tests/test_chaos_differential.py)."
+        ),
+    )
+    (REPO_ROOT / "BENCH_faults.json").write_text(json.dumps(data, indent=2) + "\n")
+
+    assert overhead < MAX_OVERHEAD
+    assert recovery_s < MAX_RECOVERY_S
+    assert results["chaos_divergences"] == 0

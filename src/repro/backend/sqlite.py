@@ -92,6 +92,7 @@ class SqliteBackend(Backend):
         self._udfs: dict[str, Callable[..., Any]] = {}
         self._udf_version = 0
         self.statements_executed = 0
+        self._fail_budget = 0
         self._keeper = self._new_connection()
         self._local.state = (self._keeper, 0)  # creating thread reuses the keeper
 
@@ -190,9 +191,25 @@ class SqliteBackend(Backend):
 
     # ------------------------------------------------------------- plumbing
 
+    def inject_failures(self, n: int = 1) -> None:
+        """Fault injection hook: the next ``n`` statements raise
+        :class:`~repro.common.errors.ExecutionError` instead of
+        running.  Models a flaky storage engine under the rewrite —
+        the serving tier must surface these as typed per-request
+        failures, never as a partial answer or a dead worker."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        with self._lock:
+            self._fail_budget += n
+
     def _run(self, sql: str) -> sqlite3.Cursor:
         with self._lock:
             self.statements_executed += 1
+            if self._fail_budget > 0:
+                self._fail_budget -= 1
+                raise ExecutionError(
+                    f"sqlite backend: injected fault — while running: {sql}"
+                )
         try:
             return self._conn().execute(sql)
         except sqlite3.Error as exc:

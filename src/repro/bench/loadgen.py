@@ -16,8 +16,10 @@ cycles through), for a fixed duration or request count, and returns a
 latency percentiles (submit → result, queue wait included).  A
 rejected submission (:class:`~repro.common.errors.
 ServiceOverloadedError`, i.e. backpressure) is counted and retried
-after a short pause, so reports distinguish *shed* load from *failed*
-requests.
+after a short pause.  Unsuccessful outcomes are kept as *distinct*
+counters — ``rejected`` (shed at admission), ``timed_out`` (deadline
+or bounded-wait expiry), ``errored`` (any other failure) — so fault
+benches can assert on the error taxonomy, not just a lump sum.
 
 :func:`run_open_loop` is the complementary *overload* generator: it
 submits on a fixed arrival schedule (aggregate ``rate_qps`` split
@@ -40,7 +42,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.common.errors import ServiceOverloadedError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.common.errors import DeadlineExceededError, ServiceOverloadedError
 from repro.service.server import LatencySummary, SieveServer
 
 #: How long a client sleeps after a backpressure rejection before
@@ -63,14 +67,40 @@ class ClientScript:
 
 @dataclass
 class LoadReport:
-    """Aggregate outcome of one closed-loop run."""
+    """Aggregate outcome of one load-generation run.
+
+    Unsuccessful requests split into three *distinct* taxa — chaos
+    benches assert on each separately, so lumping them together would
+    hide e.g. a hang (timeout) behind a pile of clean rejections:
+
+    * ``rejected`` — turned away at admission (backpressure or the
+      adaptive shedder); the request never entered the system;
+    * ``timed_out`` — admitted but no answer within the time budget
+      (a worker-side
+      :class:`~repro.common.errors.DeadlineExceededError` or a
+      client-side :class:`concurrent.futures.TimeoutError` on the
+      bounded wait);
+    * ``errored`` — admitted and answered with any *other* exception
+      (execution failure, shard crash surfaced as
+      ``ShardUnavailableError``, ...).
+
+    ``failed`` remains as the sum of the admitted-but-unsuccessful
+    taxa (timed_out + errored), for reports that only care whether
+    admitted work succeeded.
+    """
 
     clients: int
     duration_s: float
     completed: int
-    failed: int
     rejected: int
+    timed_out: int = 0
+    errored: int = 0
     latency: LatencySummary = field(default_factory=LatencySummary)
+
+    @property
+    def failed(self) -> int:
+        """Admitted requests that did not produce a result."""
+        return self.timed_out + self.errored
 
     @property
     def throughput_qps(self) -> float:
@@ -99,11 +129,19 @@ class LoadReport:
         ]
 
 
+def _is_timeout(exc: BaseException) -> bool:
+    """Classify an admitted request's failure: time-budget exhaustion
+    (either side of the future) vs a genuine error."""
+    return isinstance(exc, (DeadlineExceededError, FutureTimeoutError))
+
+
 def run_closed_loop(
     server: SieveServer,
     scripts: Sequence[ClientScript],
     duration_s: float | None = None,
     requests_per_client: int | None = None,
+    deadline_s: float | None = None,
+    result_timeout_s: float | None = None,
 ) -> LoadReport:
     """Drive ``server`` with one thread per script; closed loop.
 
@@ -111,19 +149,26 @@ def run_closed_loop(
     the stopping rule.  The report's ``duration_s`` is the measured
     wall time (first submission to last completion), so
     ``throughput_qps`` is comparable across stopping rules.
+
+    ``deadline_s`` stamps a per-request serving deadline onto each
+    submission and ``result_timeout_s`` bounds the client-side wait —
+    both are off by default (legacy unbounded behaviour) and exist so
+    chaos/fault benches can measure a server that is allowed to hang.
     """
     if (duration_s is None) == (requests_per_client is None):
         raise ValueError("pass exactly one of duration_s / requests_per_client")
     lock = threading.Lock()
     latencies: list[float] = []
-    failed = 0
+    timed_out = 0
+    errored = 0
     rejected = 0
     deadline = [0.0]  # set just before the clients start
 
     def client_loop(script: ClientScript) -> None:
-        nonlocal failed, rejected
+        nonlocal timed_out, errored, rejected
         local_latencies: list[float] = []
-        local_failed = 0
+        local_timed_out = 0
+        local_errored = 0
         local_rejected = 0
         i = 0
         while True:
@@ -135,19 +180,25 @@ def run_closed_loop(
             i += 1
             start = time.perf_counter()
             try:
-                future = server.submit(sql, script.querier, script.purpose)
+                future = server.submit(
+                    sql, script.querier, script.purpose, deadline_s=deadline_s
+                )
             except ServiceOverloadedError:
                 local_rejected += 1
                 time.sleep(REJECTION_BACKOFF_S)
                 continue
             try:
-                future.result()
-            except Exception:
-                local_failed += 1
+                future.result(timeout=result_timeout_s)
+            except Exception as exc:
+                if _is_timeout(exc):
+                    local_timed_out += 1
+                else:
+                    local_errored += 1
             local_latencies.append(time.perf_counter() - start)
         with lock:
             latencies.extend(local_latencies)
-            failed += local_failed
+            timed_out += local_timed_out
+            errored += local_errored
             rejected += local_rejected
 
     threads = [
@@ -164,8 +215,9 @@ def run_closed_loop(
     return LoadReport(
         clients=len(scripts),
         duration_s=elapsed,
-        completed=len(latencies) - failed,
-        failed=failed,
+        completed=len(latencies) - timed_out - errored,
+        timed_out=timed_out,
+        errored=errored,
         rejected=rejected,
         latency=LatencySummary.of_seconds(latencies),
     )
@@ -201,20 +253,24 @@ def run_open_loop(
     # happens after the whole submission window, which would inflate
     # every early request's latency to ~duration_s.
     latencies: list[float] = []
-    failures: list[int] = []
+    timeouts: list[int] = []
+    errors: list[int] = []
     rejected = 0
+    reap_timeouts = 0
 
     def observe(future: Any, start: float) -> None:
         latencies.append(time.perf_counter() - start)
-        if future.exception() is not None:
-            failures.append(1)
+        exc = future.exception()
+        if exc is not None:
+            (timeouts if _is_timeout(exc) else errors).append(1)
 
     started_at = [0.0]
 
     def client_loop(index: int, script: ClientScript) -> None:
-        nonlocal rejected
+        nonlocal rejected, reap_timeouts
         pending: list[Any] = []
         local_rejected = 0
+        local_reap_timeouts = 0
         # Stagger the scripts across one interval so aggregate
         # arrivals are evenly spaced, not N-at-a-time bursts.
         next_at = started_at[0] + interval * (index / len(scripts))
@@ -243,10 +299,15 @@ def run_open_loop(
         for future in pending:  # reap: keep the report's population complete
             try:
                 future.result(timeout=result_timeout_s)
+            except FutureTimeoutError:
+                # Never resolved within the reap budget — observe()
+                # has not fired, so count the hang here.
+                local_reap_timeouts += 1
             except Exception:
                 pass  # observe() already counted it
         with lock:
             rejected += local_rejected
+            reap_timeouts += local_reap_timeouts
 
     threads = [
         threading.Thread(target=client_loop, args=(i, script), name=f"openloop-{i}")
@@ -258,12 +319,13 @@ def run_open_loop(
     for thread in threads:
         thread.join()
     elapsed = time.perf_counter() - started_at[0]
-    failed = len(failures)
+    observed_failed = len(timeouts) + len(errors)
     return LoadReport(
         clients=len(scripts),
         duration_s=elapsed,
-        completed=len(latencies) - failed,
-        failed=failed,
+        completed=len(latencies) - observed_failed,
+        timed_out=len(timeouts) + reap_timeouts,
+        errored=len(errors),
         rejected=rejected,
         latency=LatencySummary.of_seconds(latencies),
     )

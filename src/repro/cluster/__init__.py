@@ -15,13 +15,30 @@ hash-ring stability: only migrated queriers' cached guards are
 invalidated.  ``tests/test_cluster_differential.py`` proves the whole
 tier is semantically invisible versus one server over the full
 corpus; see ``docs/ARCHITECTURE.md`` ("Cluster tier").
+
+The tier is also *crash-tolerant* (see ``docs/ARCHITECTURE.md`` §13):
+request deadlines propagate coordinator → admission → shard worker;
+an opt-in :class:`RetryPolicy` adds jittered-backoff retries and
+hedged reads; policy writes go through an epoch-fenced two-phase
+scatter (abort is atomic, a mid-scatter crash fences the stale shard
+out of routing); and :meth:`SieveCluster.supervise` rebuilds crashed
+shards from the authoritative store.
+``tests/test_chaos_differential.py`` drives randomized
+:mod:`repro.faults` plans against all of it.
 """
 
-from repro.common.errors import ClusterError, ShardUnavailableError
+from repro.common.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    PolicyScatterError,
+    ShardUnavailableError,
+)
 from repro.cluster.coordinator import (
     ClusterShard,
     ClusterStats,
     RebalanceReport,
+    RetryPolicy,
+    ShardRebuild,
     ShardSpec,
     SieveCluster,
 )
@@ -33,9 +50,13 @@ __all__ = [
     "ClusterShard",
     "ClusterStats",
     "DEFAULT_VNODES",
+    "DeadlineExceededError",
     "HashRing",
+    "PolicyScatterError",
     "RebalanceReport",
+    "RetryPolicy",
     "SIEVE_INTERNAL_TABLES",
+    "ShardRebuild",
     "ShardSpec",
     "ShardUnavailableError",
     "SieveCluster",

@@ -54,19 +54,58 @@ protocol that never produces a wrong answer mid-flight:
    swap), then shrinks its partition and drops exactly the migrated
    queriers' cached guards/rewrites.  Unmigrated queriers keep their
    warm state — the property ``benchmarks/bench_cluster.py`` asserts.
+
+**Crash tolerance** (the fault tier, all opt-in — without a
+:class:`RetryPolicy`, deadline, or injector the request path is the
+legacy fail-fast one above):
+
+* **deadlines** — ``submit(..., deadline_s=)`` (or a cluster
+  ``default_deadline_s``) stamps an absolute deadline that rides the
+  request into the shard's admission queue; expired queued work is
+  refused typed (:class:`~repro.common.errors.DeadlineExceededError`)
+  and the coordinator's waits are bounded by the same budget.
+* **retries + hedged reads** — :meth:`SieveCluster.execute` retries
+  *transient* failures (shard down, admission full) with
+  seeded-jitter backoff, and can hedge a slow read with a duplicate
+  to the owning shard (safe: queries are read-only).
+* **epoch-fenced two-phase policy scatter** — prepare on every owning
+  shard, then the base-store write as the single commit point; an
+  abort is atomic (no shard observed anything), and a shard crashing
+  mid-scatter is *fenced out of routing* (``policy_fence <
+  expected_fence`` → typed refusal) rather than left silently serving
+  stale policy.
+* **supervision** — :meth:`SieveCluster.supervise` rebuilds crashed
+  shards (fresh partition view + guard store from the authoritative
+  base store, same data replica) and rejoins them through the health
+  tier's recovery hold.
+
+``tests/test_chaos_differential.py`` drives seeded
+:class:`~repro.faults.FaultPlan`\\ s against all of it and holds the
+fail-closed contract: row-identical answers or typed errors, never a
+silent partial/stale answer.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as wait_futures
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.audit import AuditLog, DecisionRecord, merge_records
 from repro.common.concurrency import RWLock
-from repro.common.errors import ClusterError, ShardUnavailableError
+from repro.common.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    PolicyScatterError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    ShardUnavailableError,
+)
+from repro.common.rng import make_rng
 from repro.core.cost_model import SieveCostModel
 from repro.core.middleware import Sieve
 from repro.cluster.replicate import replicate_database
@@ -90,7 +129,72 @@ _CLUSTER_COUNTERS = (
     "cluster_policy_writes",
     "cluster_policy_fanout",
     "cluster_rebalance_moves",
+    "cluster_retries",
+    "cluster_hedges",
+    "cluster_hedge_wins",
+    "cluster_deadline_timeouts",
+    "cluster_scatter_aborts",
+    "cluster_shard_rebuilds",
+    "faults_injected",
 )
+
+#: Failures the coordinator's resilient path may transparently retry:
+#: all three say "this attempt never produced an answer" — routing hit
+#: a down shard, admission was full, or the server was not accepting.
+#: Everything else (ExecutionError, PolicyError, a worker-side
+#: DeadlineExceededError...) is the *request's* outcome and propagates.
+_TRANSIENT_ERRORS = (
+    ShardUnavailableError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in coordinator-side resilience knobs.
+
+    Without one (the default), the cluster keeps its legacy
+    fail-fast contract: one routing attempt, errors propagate
+    immediately — pinned by
+    ``tests/test_cluster.py::test_cluster_shard_failure_is_explicit_backpressure``.
+    With one, :meth:`SieveCluster.execute
+    <repro.cluster.coordinator.SieveCluster.execute>` retries
+    *transient* failures (shard down, admission full, server stopping)
+    with exponential backoff jittered by a seeded RNG — deterministic
+    across runs, decorrelated across retries — and, when
+    ``hedge_delay_s`` is set, issues a hedged duplicate of a slow read
+    to the owning shard after that delay, letting whichever answer
+    lands first win.  Hedging is safe because queries are read-only;
+    the duplicate costs engine work, never correctness.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.005
+    max_backoff_s: float = 0.1
+    #: Issue a duplicate read after this long without an answer
+    #: (None = never hedge).
+    hedge_delay_s: float | None = None
+    #: Seed for the jitter RNG (streams decorrelated via make_rng).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ClusterError("max_attempts must be positive")
+        if self.base_backoff_s < 0.0 or self.max_backoff_s < 0.0:
+            raise ClusterError("backoff bounds must be non-negative")
+        if self.hedge_delay_s is not None and self.hedge_delay_s < 0.0:
+            raise ClusterError("hedge_delay_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class ShardRebuild:
+    """One supervisor rebuild: which shard, how long, to what fence."""
+
+    name: str
+    #: Base-store epoch the rebuilt shard is current to (its fences).
+    fence: int
+    duration_s: float
 
 
 @dataclass
@@ -150,6 +254,17 @@ class ClusterShard:
         #: Flipped by fault injection / decommissioning; the
         #: coordinator refuses to route to an unavailable shard.
         self.available = True
+        #: Set by :meth:`SieveCluster.crash_shard` — the shard process
+        #: is dead (server killed, relay detached) and must be rebuilt
+        #: by the supervisor, not merely restored.
+        self.crashed = False
+        #: Epoch fencing for the two-phase policy scatter: the base
+        #: epoch of the last committed write this shard *applied*
+        #: (``policy_fence``) vs the last it *owes*
+        #: (``expected_fence``).  Routing refuses a shard whose applied
+        #: fence trails its owed fence — it would serve stale policy.
+        self.policy_fence = 0
+        self.expected_fence = 0
 
     def cached_queriers(self) -> set[Any]:
         """Queriers with warm state in any shard-local tier (guard
@@ -349,10 +464,38 @@ class SieveCluster:
         rebalance_timeout: float = DEFAULT_REBALANCE_TIMEOUT_S,
         cost_model: SieveCostModel | None = None,
         audit: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        default_deadline_s: float | None = None,
+        fault_injector: Any = None,
+        fence_gate: bool = True,
     ):
         if not specs:
             raise ClusterError("a cluster needs at least one shard")
+        if default_deadline_s is not None and default_deadline_s <= 0.0:
+            raise ClusterError("default_deadline_s must be positive")
         self.store = store
+        #: Resilience (all opt-in; None/True defaults keep the legacy
+        #: fail-fast, unfenced-write-free behavior bit-identical):
+        self.retry_policy = retry_policy
+        self.default_deadline_s = default_deadline_s
+        #: Shared :class:`~repro.faults.FaultInjector` (chaos runs).
+        self.fault_injector = fault_injector
+        if fault_injector is not None and fault_injector.counters is None:
+            fault_injector.counters = store.db.counters
+        #: When True (default), routing refuses shards behind the
+        #: committed policy fence (fail-closed) and the two-phase
+        #: scatter refuses to commit a write an owning shard would
+        #: miss.  False reverts to the naive one-phase scatter — the
+        #: deliberate mixed-epoch bug the chaos suite's teeth test
+        #: proves it can catch.
+        self.fence_gate = fence_gate
+        self._retry_rng = make_rng(
+            retry_policy.seed if retry_policy is not None else 0, "cluster-retry"
+        )
+        self._retry_lock = threading.Lock()
+        #: Stable shard index for fault-plan addressing (clock skew is
+        #: keyed by creation order, not by mutable sorted position).
+        self._fault_index: dict[str, int] = {}
         self.audit_enabled = audit
         self.workers_per_shard = workers_per_shard
         self.max_pending = max_pending
@@ -389,6 +532,9 @@ class SieveCluster:
             ring = ring.with_node(name)
             named.append((name, spec))
         self._ring = ring
+        #: Retained specs: the supervisor rebuilds a crashed shard over
+        #: the same data replica/backend (a restart on the same volume).
+        self._specs: dict[str, ShardSpec] = dict(named)
         self._shards: dict[str, ClusterShard] = {
             name: self._build_shard(name, spec, ring) for name, spec in named
         }
@@ -437,7 +583,7 @@ class SieveCluster:
         # The ownership predicate closes over one immutable ring value;
         # rebalances install new predicates explicitly, so an in-flight
         # snapshot can never observe a half-swapped assignment.
-        return ClusterShard(
+        shard = ClusterShard(
             name,
             spec,
             self.store,
@@ -449,6 +595,18 @@ class SieveCluster:
             audit=self.audit_enabled,
             tracer=self.tracer,
         )
+        self._wire_faults(name, shard)
+        return shard
+
+    def _wire_faults(self, name: str, shard: ClusterShard) -> None:
+        """Install the shared injector (and the shard's planned clock
+        skew) on a newly built shard's server."""
+        injector = self.fault_injector
+        if injector is None:
+            return
+        index = self._fault_index.setdefault(name, len(self._fault_index))
+        shard.server.fault_injector = injector
+        shard.server.clock_skew_s = injector.skew_s(index)
 
     def enable_tracing(
         self, tracer: Tracer | None = None, slow_query_ms: float | None = None
@@ -543,56 +701,285 @@ class SieveCluster:
             raise ShardUnavailableError(
                 f"shard {shard.name!r} owning querier {querier!r} is unavailable"
             )
+        # Epoch fence (fail-closed): a shard that owes a committed
+        # policy write it never applied — its relay died mid-epoch —
+        # would serve *stale policy*, the one failure mode worse than
+        # no answer.  Refuse until the supervisor rebuilds it.
+        if self.fence_gate and shard.policy_fence < shard.expected_fence:
+            self._tick("cluster_unavailable")
+            raise ShardUnavailableError(
+                f"shard {shard.name!r} is behind the committed policy fence "
+                f"(applied {shard.policy_fence} < owed {shard.expected_fence}); "
+                "awaiting supervisor rebuild"
+            )
         return shard
 
     # ------------------------------------------------------------- requests
 
+    def _apply_shard_fault(self, fault: Any) -> None:
+        """Actuate one planned shard fault (chaos runs): ``crash`` kills
+        the addressed shard's process, ``slow`` pads its service times,
+        ``drop_relay`` silently detaches its policy-event relay."""
+        with self._route_lock.read_locked():
+            names = sorted(self._shards)
+        if not names:
+            return
+        name = names[fault.shard % len(names)]
+        self.fault_injector.record(fault.kind)
+        if fault.kind == "crash":
+            self.crash_shard(name)
+        elif fault.kind == "slow":
+            self.shard(name).server.inject_delay_s = fault.delay_s
+        elif fault.kind == "drop_relay":
+            self.drop_relay(name)
+
+    def _absolute_deadline(self, deadline_s: float | None) -> float | None:
+        """Relative budget (explicit, else the cluster default) → an
+        absolute perf_counter deadline shared by retries and hedges."""
+        budget = deadline_s if deadline_s is not None else self.default_deadline_s
+        return None if budget is None else time.perf_counter() + budget
+
     def _routed_submit(
-        self, sql: Any, querier: Any, purpose: str, with_info: bool
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        with_info: bool,
+        deadline: float | None = None,
     ) -> "Future[Any]":
         """Route-and-admit under one read lock.  With tracing on, the
         routing runs inside a ``cluster.route`` root span whose trace
         id rides the admitted request — the shard worker's
         ``sieve.query`` root then reuses it, correlating coordinator
         and shard sides of one request."""
+        fault_tag = None
+        injector = self.fault_injector
+        if injector is not None:
+            # Advance the fault clock and actuate due shard faults
+            # BEFORE taking the routing read lock: crash/slow/restore
+            # go through admin entry points that take locks themselves.
+            fault_tag, due = injector.next_request()
+            for fault in due:
+                self._apply_shard_fault(fault)
         if self.tracer is None:
             with self._route_lock.read_locked():
                 shard = self._checked_shard_locked(querier)
-                submit = (
-                    shard.server.submit_with_info if with_info else shard.server.submit
+                return shard.server.admit(
+                    sql, querier, purpose, with_info=with_info,
+                    deadline=deadline, fault_tag=fault_tag,
                 )
-                return submit(sql, querier, purpose)
         with self.tracer.trace("cluster.route", querier=str(querier)) as root:
             with self._route_lock.read_locked():
                 shard = self._checked_shard_locked(querier)
-                submit = (
-                    shard.server.submit_with_info if with_info else shard.server.submit
+                future = shard.server.admit(
+                    sql, querier, purpose, with_info=with_info,
+                    deadline=deadline, fault_tag=fault_tag,
                 )
-                future = submit(sql, querier, purpose)
             root.set(shard=shard.name)
             return future
 
-    def submit(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+    def submit(
+        self, sql: Any, querier: Any, purpose: str, deadline_s: float | None = None
+    ) -> "Future[Any]":
         """Route one query to its owning shard; future resolves to the
-        :class:`~repro.engine.executor.QueryResult`."""
-        future = self._routed_submit(sql, querier, purpose, with_info=False)
+        :class:`~repro.engine.executor.QueryResult`.  ``deadline_s``
+        (default: the cluster's ``default_deadline_s``) rides the
+        request so an expired queued request is refused typed by the
+        shard worker instead of executed late."""
+        future = self._routed_submit(
+            sql, querier, purpose, with_info=False,
+            deadline=self._absolute_deadline(deadline_s),
+        )
         self._tick("cluster_requests")
         return future
 
-    def submit_with_info(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
-        future = self._routed_submit(sql, querier, purpose, with_info=True)
+    def submit_with_info(
+        self, sql: Any, querier: Any, purpose: str, deadline_s: float | None = None
+    ) -> "Future[Any]":
+        future = self._routed_submit(
+            sql, querier, purpose, with_info=True,
+            deadline=self._absolute_deadline(deadline_s),
+        )
         self._tick("cluster_requests")
         return future
 
     def execute(
-        self, sql: Any, querier: Any, purpose: str, timeout: float | None = None
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> Any:
-        return self.submit(sql, querier, purpose).result(timeout=timeout)
+        """Blocking execute.  Fail-fast by default; with a
+        :class:`RetryPolicy` and/or a deadline the resilient path
+        engages — transparent retries of transient failures, optional
+        hedged reads, and a typed
+        :class:`~repro.common.errors.DeadlineExceededError` instead of
+        an unbounded wait."""
+        if (
+            self.retry_policy is None
+            and deadline_s is None
+            and self.default_deadline_s is None
+        ):
+            # Legacy fail-fast path, bit-identical to before the fault
+            # tier existed: one attempt, errors propagate immediately.
+            return self.submit(sql, querier, purpose).result(timeout=timeout)
+        deadline = self._absolute_deadline(deadline_s)
+        if deadline is None and timeout is not None:
+            deadline = time.perf_counter() + timeout
+        return self._resilient_result(
+            sql, querier, purpose, with_info=False, deadline=deadline
+        )
 
     def execute_with_info(
-        self, sql: Any, querier: Any, purpose: str, timeout: float | None = None
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> Any:
-        return self.submit_with_info(sql, querier, purpose).result(timeout=timeout)
+        if (
+            self.retry_policy is None
+            and deadline_s is None
+            and self.default_deadline_s is None
+        ):
+            return self.submit_with_info(sql, querier, purpose).result(timeout=timeout)
+        deadline = self._absolute_deadline(deadline_s)
+        if deadline is None and timeout is not None:
+            deadline = time.perf_counter() + timeout
+        return self._resilient_result(
+            sql, querier, purpose, with_info=True, deadline=deadline
+        )
+
+    # ------------------------------------------------------ resilient path
+
+    def _resilient_result(
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        with_info: bool,
+        deadline: float | None,
+    ) -> Any:
+        """Retry loop around :meth:`_one_attempt`: transient failures
+        (shard down, admission full, server stopping) retry with
+        seeded-jitter exponential backoff until the policy's attempt
+        budget or the deadline runs out; every other outcome — rows, or
+        a typed non-transient error — propagates on first occurrence."""
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        attempt = 0
+        last_exc: Exception | None = None
+        while True:
+            if deadline is not None and time.perf_counter() >= deadline:
+                self._tick("cluster_deadline_timeouts")
+                raise DeadlineExceededError(
+                    f"deadline exhausted after {attempt} attempt(s) for "
+                    f"querier {querier!r}"
+                ) from last_exc
+            if attempt > 0:
+                self._tick("cluster_retries")
+                self._backoff_sleep(attempt, deadline)
+            try:
+                return self._one_attempt(sql, querier, purpose, with_info, deadline)
+            except _TRANSIENT_ERRORS as exc:
+                attempt += 1
+                last_exc = exc
+                if attempt >= max_attempts:
+                    raise
+
+    def _deadline_exhausted(self, querier: Any) -> DeadlineExceededError:
+        self._tick("cluster_deadline_timeouts")
+        return DeadlineExceededError(
+            f"cluster wait for querier {querier!r} exhausted its deadline"
+        )
+
+    def _backoff_sleep(self, attempt: int, deadline: float | None) -> None:
+        policy = self.retry_policy
+        if policy is None:
+            return
+        base = policy.base_backoff_s * (2 ** (attempt - 1))
+        with self._retry_lock:
+            jitter = self._retry_rng.uniform(0.5, 1.5)
+        delay = min(policy.max_backoff_s, base * jitter)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.perf_counter()))
+        if delay > 0.0:
+            time.sleep(delay)
+
+    def _one_attempt(
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        with_info: bool,
+        deadline: float | None,
+    ) -> Any:
+        """One routed submit plus a bounded, optionally hedged wait."""
+        future = self._routed_submit(
+            sql, querier, purpose, with_info, deadline=deadline
+        )
+        self._tick("cluster_requests")
+        policy = self.retry_policy
+        hedge_delay = policy.hedge_delay_s if policy is not None else None
+        if hedge_delay is None:
+            if deadline is None:
+                return future.result()
+            try:
+                return future.result(
+                    timeout=max(0.0, deadline - time.perf_counter())
+                )
+            except FutureTimeoutError:
+                raise self._deadline_exhausted(querier) from None
+        # Hedged wait: give the primary ``hedge_delay`` seconds, then
+        # duplicate the read to the owning shard and take whichever
+        # answers first.  Safe — queries are read-only; the duplicate
+        # costs engine work, never correctness.
+        wait_s = hedge_delay
+        if deadline is not None:
+            wait_s = min(wait_s, max(0.0, deadline - time.perf_counter()))
+        try:
+            return future.result(timeout=wait_s)
+        except FutureTimeoutError:
+            pass
+        if deadline is not None and time.perf_counter() >= deadline:
+            raise self._deadline_exhausted(querier)
+        hedge: "Future[Any] | None" = None
+        try:
+            hedge = self._routed_submit(
+                sql, querier, purpose, with_info, deadline=deadline
+            )
+            self._tick("cluster_requests")
+            self._tick("cluster_hedges")
+        except _TRANSIENT_ERRORS:
+            hedge = None  # the primary may still answer; keep waiting
+        waiters = [future] if hedge is None else [future, hedge]
+        while True:
+            remaining = (
+                None if deadline is None else deadline - time.perf_counter()
+            )
+            if remaining is not None and remaining <= 0.0:
+                raise self._deadline_exhausted(querier)
+            done, _ = wait_futures(
+                waiters, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                raise self._deadline_exhausted(querier)
+            failure: BaseException | None = None
+            for settled in done:
+                exc = settled.exception()
+                if exc is None:
+                    if hedge is not None and settled is hedge:
+                        self._tick("cluster_hedge_wins")
+                    return settled.result()
+                failure = exc
+            waiters = [f for f in waiters if f not in done]
+            if not waiters:
+                # Both attempts failed; surface the (typed) failure —
+                # the retry loop above decides whether it is transient.
+                raise failure
 
     def execute_many(
         self,
@@ -643,15 +1030,101 @@ class SieveCluster:
                 targets |= {ring.route(m) for m in self.store.groups.members_of(querier)}
             return sorted(targets)
 
+    def _shard_can_apply(self, shard: ClusterShard) -> bool:
+        """Can this shard observe a base-store write right now?  The
+        hazards are a dead process (``crashed`` / killed server) and a
+        detached event relay — a merely ``fail_shard``-ed shard still
+        applies writes fine (its partition stays attached), matching
+        the pre-fence behavior."""
+        return (
+            not shard.crashed
+            and not shard.server.killed
+            and not shard.partition.detached
+        )
+
+    def _abort_scatter(self, reason: str) -> "PolicyScatterError":
+        self._tick("cluster_scatter_aborts")
+        return PolicyScatterError(f"policy scatter aborted in prepare: {reason}")
+
+    def _scatter_policy_write(
+        self, targets: Sequence[str], apply: Callable[[], Any]
+    ) -> Any:
+        """Epoch-fenced two-phase policy scatter.
+
+        *Prepare*: every owning shard must be able to apply the write
+        (process alive, relay attached) — any that cannot aborts the
+        whole write with :class:`~repro.common.errors.PolicyScatterError`
+        **before** the base store is touched, so an abort is atomic:
+        no shard, and no partition, ever observes a rolled-back write.
+
+        *Commit*: the base-store mutation (``apply()``) is the single
+        commit point — live partitions relay it synchronously on this
+        thread — after which every owning shard's fences advance to the
+        new epoch.  A shard that died *between* prepare and the commit
+        point (the injected ``commit``-phase fault) misses the relay:
+        its ``expected_fence`` advances but its ``policy_fence`` does
+        not, and the routing fence gate refuses it (fail-closed) until
+        the supervisor rebuilds it from the authoritative store.
+
+        With ``fence_gate=False`` the prepare phase is skipped — the
+        legacy naive scatter, kept as the deliberate mixed-epoch bug
+        the chaos suite's teeth test must catch.
+        """
+        injector = self.fault_injector
+        write_no = injector.next_write() if injector is not None else None
+        with self._admin_lock:  # scatters serialize with rebalance/supervise
+            with self._route_lock.read_locked():
+                shards = {
+                    name: self._shards[name]
+                    for name in targets
+                    if name in self._shards
+                }
+                all_names = sorted(self._shards)
+            if self.fence_gate:
+                if injector is not None and injector.scatter_fault(
+                    write_no, "prepare"
+                ):
+                    raise self._abort_scatter(
+                        f"injected prepare fault (write {write_no})"
+                    )
+                for name in sorted(shards):
+                    if not self._shard_can_apply(shards[name]):
+                        raise self._abort_scatter(
+                            f"owning shard {name!r} cannot apply the write "
+                            "(crashed or relay detached)"
+                        )
+            # A commit-phase fault crashes its victim here — after
+            # prepare passed, before the commit point — so the victim
+            # genuinely misses the write (the mid-scatter crash the
+            # fence exists for).
+            if injector is not None:
+                fault = injector.scatter_fault(write_no, "commit")
+                if fault is not None and all_names:
+                    self.crash_shard(all_names[fault.shard % len(all_names)])
+            stamped = apply()  # ← commit point: base write + live relay
+            fence = self.store.epoch
+            with self._route_lock.read_locked():
+                for name in targets:
+                    shard = self._shards.get(name)
+                    if shard is None:
+                        continue
+                    shard.expected_fence = fence
+                    if self._shard_can_apply(shard):
+                        shard.policy_fence = fence
+            return stamped
+
     def insert_policy(self, policy: Policy) -> Policy:
         """Route one policy insert through the coordinator.
 
-        The write lands in the base store (single source of truth);
+        The write lands in the base store (single source of truth) via
+        the two-phase scatter (:meth:`_scatter_policy_write`);
         partition event relay delivers it to exactly the owning
         shards — ``cluster_policy_fanout`` records the scatter width.
         """
         targets = self.owning_shards(policy.querier)
-        stamped = self.store.insert(policy)
+        stamped = self._scatter_policy_write(
+            targets, lambda: self.store.insert(policy)
+        )
         self._tick("cluster_policy_writes")
         self._tick("cluster_policy_fanout", len(targets))
         return stamped
@@ -666,15 +1139,19 @@ class SieveCluster:
     def delete_policy(self, policy_id: int) -> None:
         policy = self.store.get(policy_id)
         targets = self.owning_shards(policy.querier)
-        self.store.delete(policy_id)
+        self._scatter_policy_write(targets, lambda: self.store.delete(policy_id))
         self._tick("cluster_policy_writes")
         self._tick("cluster_policy_fanout", len(targets))
 
     def update_policy(self, policy: Policy) -> Policy:
         old = self.store.get(policy.id)
-        targets = set(self.owning_shards(old.querier))
-        targets |= set(self.owning_shards(policy.querier))
-        stamped = self.store.update(policy)
+        targets = sorted(
+            set(self.owning_shards(old.querier))
+            | set(self.owning_shards(policy.querier))
+        )
+        stamped = self._scatter_policy_write(
+            targets, lambda: self.store.update(policy)
+        )
         self._tick("cluster_policy_writes")
         self._tick("cluster_policy_fanout", len(targets))
         return stamped
@@ -699,6 +1176,108 @@ class SieveCluster:
         if delay_s < 0.0:
             raise ClusterError("delay_s must be non-negative")
         self.shard(name).server.inject_delay_s = delay_s
+
+    def crash_shard(self, name: str) -> None:
+        """Fault injection: the shard *process* dies.
+
+        Harsher than :meth:`fail_shard` (a routing verdict over an
+        intact shard): the server is killed — queued requests fail with
+        :class:`~repro.common.errors.ShardUnavailableError`, workers
+        exit after their current batch — the policy-event relay
+        detaches (the shard will MISS subsequent policy writes), and
+        routing refuses the shard.  Recovery is a supervisor rebuild
+        (:meth:`supervise`), not :meth:`restore_shard`: the dead
+        process's partition view and caches are gone for good."""
+        shard = self.shard(name)
+        shard.crashed = True
+        shard.available = False
+        shard.server.kill()
+        shard.partition.detach()
+
+    def drop_relay(self, name: str) -> None:
+        """Fault injection: the shard's policy-event relay dies while
+        its serving stack stays up — a *partial* process failure.
+
+        The nastiest fault this tier models: the shard keeps answering
+        (fast, confidently) from a partition that silently stops
+        observing base-store writes.  Nothing fails until the next
+        policy write, when the two-phase scatter's prepare finds the
+        detached relay and aborts — or, with ``fence_gate=False``, when
+        nothing does, and the chaos suite's divergence detector must
+        catch the stale answers (the teeth test)."""
+        self.shard(name).partition.detach()
+
+    # ----------------------------------------------------------- supervision
+
+    def _needs_rebuild(self, shard: ClusterShard) -> bool:
+        """Crashed process, killed server, detached relay, or a
+        shrunken worker pool (a crashed worker thread never comes
+        back) — states :meth:`restore_shard` cannot fix because
+        shard-local state (partition view, caches, worker pool) is
+        unrecoverable.  A merely ``fail_shard``-ed shard is intact and
+        NOT rebuilt."""
+        return (
+            shard.crashed
+            or shard.server.killed
+            or shard.partition.detached
+            or shard.server.lost_workers > 0
+        )
+
+    def supervise(self) -> list[ShardRebuild]:
+        """One supervisor pass: detect dead/degenerate shards and
+        rebuild each from the coordinator's authoritative state.
+
+        A rebuild constructs a *fresh* :class:`ClusterShard` over the
+        retained :class:`ShardSpec` — same data replica/backend (a
+        restart on the same volume) but a brand-new policy partition
+        view filtered from the authoritative base store, a new guard
+        store and guard/rewrite caches, and a new worker pool — then
+        swaps it in under the routing write lock with its fences set to
+        the current base epoch (it is, by construction, policy-current).
+        The husk's relay is detached and its pool killed.
+
+        Rejoin goes through the existing health machinery: the rebuilt
+        shard is immediately routable, and if health-aware routing had
+        installed a detour for it, the recovery hold
+        (:meth:`configure_health`) keeps the detour until the shard has
+        stayed healthy for the hold window — rebuilds get no shortcut
+        around the hysteresis.  Call it periodically (there is no
+        background thread, matching :meth:`health_tick`)."""
+        with self._admin_lock:
+            if self._stopped or not self._started:
+                return []
+            with self._route_lock.read_locked():
+                shards = dict(self._shards)
+            rebuilds: list[ShardRebuild] = []
+            for name, husk in shards.items():
+                if not self._needs_rebuild(husk):
+                    continue
+                started = time.perf_counter()
+                replacement = self._build_shard(name, self._specs[name], self._ring)
+                replacement.server.start()
+                fence = self.store.epoch
+                replacement.policy_fence = fence
+                replacement.expected_fence = fence
+                with self._route_lock.write_locked():
+                    self._shards[name] = replacement
+                # Retire the husk: whatever was still alive of it must
+                # not keep observing the base store or serving.
+                husk.available = False
+                husk.crashed = True
+                husk.server.kill()
+                husk.partition.detach()
+                # Its burn-rate history belongs to the dead process.
+                self._shard_monitors.pop(name, None)
+                self._healthy_since.pop(name, None)
+                self._tick("cluster_shard_rebuilds")
+                rebuilds.append(
+                    ShardRebuild(
+                        name=name,
+                        fence=fence,
+                        duration_s=time.perf_counter() - started,
+                    )
+                )
+            return rebuilds
 
     # ----------------------------------------------------------- health/SLO
 
@@ -968,6 +1547,8 @@ class SieveCluster:
                 audit=self.audit_enabled,
                 tracer=self.tracer,
             )
+            self._specs[name] = spec
+            self._wire_faults(name, shard)
             if self._started:
                 shard.server.start()
             return self._apply_assignment(
@@ -1059,6 +1640,7 @@ class SieveCluster:
             leaving.partition.detach()
             with self._route_lock.write_locked():
                 del self._shards[leaving.name]
+            self._specs.pop(leaving.name, None)
         universe = self.routable_queriers()
         moved = old_ring.moved_keys(new_ring, universe)
         self._tick("cluster_rebalance_moves", len(moved))

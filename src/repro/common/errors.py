@@ -70,6 +70,35 @@ class ServiceStoppedError(ServiceError):
     (never started, stopping, or already stopped)."""
 
 
+class DeadlineExceededError(ServiceError):
+    """The request's deadline passed before a result was produced.
+
+    Deadlines are absolute (stamped at admission, carried on the
+    :class:`~repro.service.admission.ServiceRequest` and propagated
+    coordinator → admission queue → shard worker), so every tier can
+    refuse work that can no longer be answered in time: a worker drops
+    an expired queued request instead of executing it, and the
+    coordinator's resilient wait converts an exhausted wait into this
+    error instead of blocking forever.  Always a *typed* failure —
+    under faults a caller receives either a correct answer or an error
+    of this hierarchy, never a silent partial answer.  Counted in
+    ``counters.service_deadline_timeouts`` (worker-side drops) and
+    ``counters.cluster_deadline_timeouts`` (coordinator-side waits).
+    """
+
+
+class WorkerCrashedError(ServiceError):
+    """Internal control signal: a worker thread died mid-batch.
+
+    Raised inside :meth:`SieveServer._serve_batch
+    <repro.service.server.SieveServer>` by the fault injector (or by
+    genuinely broken worker code) and caught by the worker loop's
+    crash barrier, which fails the batch's unresolved futures with
+    :class:`ShardUnavailableError` — callers never see this type, only
+    the typed unavailability it maps to.
+    """
+
+
 class ClusterError(ServiceError):
     """Failures of the sharded cluster tier (:mod:`repro.cluster`)."""
 
@@ -82,4 +111,17 @@ class ShardUnavailableError(ClusterError):
     request immediately instead of queueing it against a dead shard —
     callers should retry after the cluster is rebalanced or the shard
     restored.  Counted in ``counters.cluster_unavailable``.
+    """
+
+
+class PolicyScatterError(ClusterError):
+    """A two-phase policy scatter aborted before its commit point.
+
+    Raised by the coordinator when the *prepare* phase finds an owning
+    shard that cannot apply the write (crashed, stopped, relay
+    detached) or when a fault fires during prepare.  The base store is
+    untouched — aborting is atomic: **no** shard observed the write,
+    so partitions can never be left on mixed policy epochs.  Callers
+    should repair the cluster (``supervise()``) and retry the write.
+    Counted in ``counters.cluster_scatter_aborts``.
     """

@@ -64,6 +64,23 @@ every shard holding a member, so fanout ≥ writes), and
 All zero cost weight: routing is coordination, not engine work — the
 per-query engine cost lands on each shard's own counters, whose sum
 the differential suite holds identical to a single server's.
+
+The fault-tolerance tier (:mod:`repro.faults` plus the coordinator's
+resilient request path) adds: ``service_deadline_timeouts`` (queued
+requests a worker refused because their deadline had already passed),
+``cluster_retries`` (transient shard failures retried with jittered
+backoff), ``cluster_hedges`` / ``cluster_hedge_wins`` (hedged
+duplicate reads issued after the hedge delay, and how many resolved
+first — safe to duplicate because queries are read-only),
+``cluster_deadline_timeouts`` (coordinator-side waits converted into
+:class:`~repro.common.errors.DeadlineExceededError`),
+``cluster_scatter_aborts`` (two-phase policy scatters rolled back in
+prepare — no shard observed the write), ``cluster_shard_rebuilds``
+(crashed shards the supervisor rebuilt from the authoritative store),
+and ``faults_injected`` (faults a :class:`~repro.faults.FaultInjector`
+actually fired).  All zero cost weight: fault handling is
+coordination, and the chaos differential suite proves the *answers*
+under faults stay row-identical to the fault-free oracle.
 """
 
 from __future__ import annotations
@@ -116,6 +133,14 @@ class CounterSet:
     cluster_policy_writes: int = 0
     cluster_policy_fanout: int = 0
     cluster_rebalance_moves: int = 0
+    service_deadline_timeouts: int = 0
+    cluster_retries: int = 0
+    cluster_hedges: int = 0
+    cluster_hedge_wins: int = 0
+    cluster_deadline_timeouts: int = 0
+    cluster_scatter_aborts: int = 0
+    cluster_shard_rebuilds: int = 0
+    faults_injected: int = 0
     audit_records: int = 0
     audit_flushes: int = 0
     weights: CostWeights = field(default_factory=CostWeights)
@@ -149,6 +174,14 @@ class CounterSet:
         "cluster_policy_writes",
         "cluster_policy_fanout",
         "cluster_rebalance_moves",
+        "service_deadline_timeouts",
+        "cluster_retries",
+        "cluster_hedges",
+        "cluster_hedge_wins",
+        "cluster_deadline_timeouts",
+        "cluster_scatter_aborts",
+        "cluster_shard_rebuilds",
+        "faults_injected",
         "audit_records",
         "audit_flushes",
     )

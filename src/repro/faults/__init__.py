@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the cluster/serving tiers.
+
+Sieve is access-control middleware: a partial failure that drops a
+guard or serves a stale policy partition is not a latency blip, it is
+a data leak.  This package makes partial failure a *first-class,
+reproducible input*: a seeded :class:`FaultPlan` describes exactly
+which faults fire and when (shard crash / hang / slow, request drop /
+duplicate, policy-write failure at a chosen point in the two-phase
+scatter, clock skew), and a :class:`FaultInjector` actuates the plan
+through hooks threaded into the coordinator
+(:mod:`repro.cluster.coordinator`), the serving tier
+(:mod:`repro.service`), and the SQLite backend
+(:mod:`repro.backend.sqlite`).
+
+Because plans are pure functions of their seed
+(:meth:`FaultPlan.random`), every chaos run is replayable: the chaos
+differential suite (``tests/test_chaos_differential.py``) sweeps
+hundreds of seeds and asserts the fail-closed contract — every
+answered query is row-identical to the fault-free oracle and every
+unanswered one fails with a typed
+:class:`~repro.common.errors.ReproError`, never a silent partial
+answer.
+
+The shared chaos harness lives in :mod:`repro.faults.chaos`
+(imported directly, not re-exported here: it pulls in the whole
+cluster tier, which plain plan/injector consumers don't need).
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    RequestFault,
+    ScatterFault,
+    ShardFault,
+)
+from repro.faults.injector import FaultInjector, ServeAction
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "RequestFault",
+    "ScatterFault",
+    "ServeAction",
+    "ShardFault",
+]

@@ -1,0 +1,189 @@
+"""Seeded, replayable fault plans.
+
+A :class:`FaultPlan` is a *pure function of its seed*: two processes
+calling :meth:`FaultPlan.random` with the same seed and shape
+parameters build byte-identical plans (the generator draws from
+:func:`repro.common.rng.make_rng` streams, never from global
+state or wall clock).  That makes every chaos run replayable — a
+failing seed from CI reproduces locally with no recorded trace.
+
+Faults are keyed by *ordinals*, not timestamps:
+
+* **Request faults** fire when the coordinator admits its Nth request
+  (``ordinal``).  Kinds: ``drop`` (the worker silently discards the
+  request — its future never resolves, modelling a lost reply),
+  ``duplicate`` (the worker executes it twice, modelling duplicated
+  delivery — safe to expose because queries are read-only),
+  ``delay`` / ``hang`` (the worker sleeps before serving — ``hang`` is
+  just a delay long enough to trip deadlines), ``crash_worker`` (the
+  serving worker thread dies mid-batch), and ``backend_error`` (the
+  execution backend fails the statement).
+* **Shard faults** fire *before* routing the Nth request: ``crash``
+  (process death — server killed, partition relay detached),
+  ``slow`` (injected per-request latency), ``drop_relay`` (the
+  policy-event relay silently detaches while serving stays up: the
+  exact stale-partition hazard the epoch fence exists to catch).
+* **Scatter faults** fire during the Nth *policy write*, at a chosen
+  phase of the two-phase scatter: ``phase="prepare"`` aborts the write
+  before the commit point (atomic rollback), ``phase="commit"``
+  crashes the target shard just before the base-store write, so the
+  crashed shard genuinely misses the event.
+* **Clock skew** offsets one shard's monotonic clock, so its workers
+  judge deadlines early or late relative to the coordinator.
+
+Ordinal keying keeps plans deterministic under the thread-pool
+serving tier: the coordinator assigns ordinals under its own lock and
+stamps them onto requests, so worker interleaving cannot change which
+request a fault hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import make_rng
+
+REQUEST_FAULT_KINDS = (
+    "drop",
+    "duplicate",
+    "delay",
+    "hang",
+    "crash_worker",
+    "backend_error",
+)
+SHARD_FAULT_KINDS = ("crash", "slow", "drop_relay")
+SCATTER_PHASES = ("prepare", "commit")
+
+
+@dataclass(frozen=True)
+class RequestFault:
+    """A fault pinned to the coordinator's ``ordinal``-th request."""
+
+    ordinal: int
+    kind: str  # one of REQUEST_FAULT_KINDS
+    delay_s: float = 0.0  # used by "delay" / "hang"
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """A shard-level fault applied just before routing request ``ordinal``."""
+
+    ordinal: int
+    shard: int  # index into the cluster's sorted shard names
+    kind: str  # one of SHARD_FAULT_KINDS
+    delay_s: float = 0.0  # used by "slow"
+
+
+@dataclass(frozen=True)
+class ScatterFault:
+    """A fault fired during the ``write``-th policy scatter.
+
+    ``phase="prepare"`` forces an abort (the write rolls back, no
+    shard observes it); ``phase="commit"`` crashes shard ``shard``
+    immediately before the base-store commit point, so that shard
+    misses the write and must be fenced out until rebuilt.
+    """
+
+    write: int
+    phase: str  # one of SCATTER_PHASES
+    shard: int  # index into sorted shard names (ignored for "prepare")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of which faults fire and when."""
+
+    seed: int
+    request_faults: tuple[RequestFault, ...] = ()
+    shard_faults: tuple[ShardFault, ...] = ()
+    scatter_faults: tuple[ScatterFault, ...] = ()
+    clock_skew_s: tuple[tuple[int, float], ...] = ()  # (shard index, skew)
+    hang_s: float = 0.25  # how long a "hang" sleeps (≫ chaos deadlines)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        n_requests: int,
+        n_shards: int,
+        n_writes: int = 0,
+        request_fault_rate: float = 0.15,
+        shard_fault_rate: float = 0.04,
+        scatter_fault_rate: float = 0.3,
+        skew_rate: float = 0.25,
+        max_delay_s: float = 0.01,
+        hang_s: float = 0.25,
+    ) -> "FaultPlan":
+        """Draw a randomized plan — deterministic in ``seed`` and shape.
+
+        Rates are per-opportunity probabilities: each of the
+        ``n_requests`` request slots draws a request fault with
+        ``request_fault_rate`` and a shard fault with
+        ``shard_fault_rate``; each of the ``n_writes`` policy writes
+        draws a scatter fault with ``scatter_fault_rate``; each shard
+        draws a clock skew with ``skew_rate``.
+        """
+        rng = make_rng(seed, "fault-plan")
+        request_faults = []
+        shard_faults = []
+        for ordinal in range(n_requests):
+            if rng.random() < request_fault_rate:
+                kind = rng.choice(REQUEST_FAULT_KINDS)
+                delay = 0.0
+                if kind == "delay":
+                    delay = rng.uniform(0.0, max_delay_s)
+                elif kind == "hang":
+                    delay = hang_s
+                request_faults.append(RequestFault(ordinal, kind, delay))
+            if n_shards and rng.random() < shard_fault_rate:
+                kind = rng.choice(SHARD_FAULT_KINDS)
+                delay = rng.uniform(0.0, max_delay_s) if kind == "slow" else 0.0
+                shard_faults.append(
+                    ShardFault(ordinal, rng.randrange(n_shards), kind, delay)
+                )
+        scatter_faults = []
+        for write in range(n_writes):
+            if rng.random() < scatter_fault_rate:
+                phase = rng.choice(SCATTER_PHASES)
+                scatter_faults.append(
+                    ScatterFault(write, phase, rng.randrange(max(1, n_shards)))
+                )
+        skews = []
+        for shard in range(n_shards):
+            if rng.random() < skew_rate:
+                skews.append((shard, rng.uniform(-0.005, 0.005)))
+        return cls(
+            seed=seed,
+            request_faults=tuple(request_faults),
+            shard_faults=tuple(shard_faults),
+            scatter_faults=tuple(scatter_faults),
+            clock_skew_s=tuple(skews),
+            hang_s=hang_s,
+        )
+
+    @property
+    def total_faults(self) -> int:
+        return (
+            len(self.request_faults)
+            + len(self.shard_faults)
+            + len(self.scatter_faults)
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by chaos reports and test diagnostics."""
+        kinds: dict[str, int] = {}
+        for f in self.request_faults:
+            kinds[f.kind] = kinds.get(f.kind, 0) + 1
+        for sf in self.shard_faults:
+            kinds[sf.kind] = kinds.get(sf.kind, 0) + 1
+        for sc in self.scatter_faults:
+            key = f"scatter_{sc.phase}"
+            kinds[key] = kinds.get(key, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        return (
+            f"plan(seed={self.seed}, faults={self.total_faults}"
+            + (f", {parts}" if parts else "")
+            + (f", skewed_shards={len(self.clock_skew_s)}" if self.clock_skew_s else "")
+            + ")"
+        )

@@ -692,11 +692,27 @@ class PolicyPartition:
             self._snapshot_memo = None
 
     def detach(self) -> None:
-        """Stop observing the base store (shard decommissioned)."""
+        """Stop observing the base store (shard decommissioned).
+
+        Also the cluster tier's *relay-failure* fault: a detached
+        partition silently misses every subsequent base-store write —
+        exactly the stale-policy hazard the coordinator's epoch fence
+        and shard supervisor exist to catch (see
+        :meth:`SieveCluster.drop_relay
+        <repro.cluster.coordinator.SieveCluster.drop_relay>`)."""
         with self._lock:
             self._detached = True
         self.base.remove_mutation_listener(self._on_base_event)
         self.base.remove_reset_listener(self._on_base_reset)
+
+    @property
+    def detached(self) -> bool:
+        """True once the partition stopped observing the base store —
+        its view can only go stale from here.  The coordinator's
+        two-phase scatter refuses to commit a write such a partition
+        would miss, and its supervisor rebuilds the shard."""
+        with self._lock:
+            return self._detached
 
     # ----------------------------------------------------------- event relay
 

@@ -25,6 +25,13 @@ Three properties, all enforced here:
   a chatty querier cannot starve a quiet one, because after its batch
   completes the key re-queues at the back.
 
+Requests may also carry an absolute **deadline**
+(:attr:`ServiceRequest.deadline`, monotonic-clock seconds): a worker
+that picks up an expired request resolves it with
+:class:`~repro.common.errors.DeadlineExceededError` instead of
+executing it — queue time already ate the budget, so running the query
+would burn a worker on an answer nobody is waiting for.
+
 On top of the static bound sits **SLO-aware adaptive shedding**
 (:class:`AdaptiveShedder`): when the serving tier's burn-rate monitor
 (:class:`~repro.obs.slo.BurnRateMonitor`) reports a *fast burn* —
@@ -190,10 +197,27 @@ class ServiceRequest:
     #: The admitting thread's active trace id ("" when it had none) —
     #: the worker adopts it so cross-thread spans share one trace.
     trace_id: str = ""
+    #: Absolute deadline on the admitting tier's monotonic clock
+    #: (``time.perf_counter()``), or None for no deadline.  Stamped at
+    #: admission and carried with the request so *every* downstream
+    #: tier — scheduler, shard worker — can refuse work that can no
+    #: longer be answered in time instead of executing it uselessly.
+    deadline: float | None = None
+    #: Request ordinal assigned by an upstream
+    #: :class:`~repro.faults.FaultInjector` (None outside chaos runs).
+    #: Workers look up injected per-request faults by this tag, which
+    #: keeps fault placement deterministic under worker interleaving.
+    fault_tag: int | None = None
 
     @property
     def key(self) -> SessionKey:
         return (self.querier, self.purpose)
+
+    def expired(self, now: float, skew_s: float = 0.0) -> bool:
+        """True when ``now`` (plus the judging tier's clock skew) is
+        past the deadline.  ``skew_s`` models a shard whose clock runs
+        ahead/behind the coordinator's — injected in chaos runs."""
+        return self.deadline is not None and (now + skew_s) >= self.deadline
 
     @property
     def queue_wait_s(self) -> float:

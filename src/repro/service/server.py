@@ -65,7 +65,14 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from repro.common.errors import ServiceOverloadedError, ServiceStoppedError
+from repro.common.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    ShardUnavailableError,
+    WorkerCrashedError,
+)
 from repro.core.middleware import Sieve
 from repro.obs.histogram import LatencyHistogram
 from repro.obs.slo import SLO, BurnRateMonitor, SLOSample
@@ -350,6 +357,17 @@ class SieveServer:
         #: The cluster's ``slow_shard`` sets this to simulate one shard
         #: answering slowly without touching the engine.
         self.inject_delay_s: float = 0.0
+        #: Fault injection: the :class:`~repro.faults.FaultInjector`
+        #: workers consult per request (None outside chaos runs) — the
+        #: cluster installs the shared injector on every shard server.
+        self.fault_injector: Any = None
+        #: Fault injection: offset added to this server's monotonic
+        #: clock when judging request deadlines, modelling a shard
+        #: whose clock runs ahead (positive — deadlines trip early) or
+        #: behind (negative — expired work is still attempted, and the
+        #: caller's own deadline wait catches it) the coordinator's.
+        self.clock_skew_s: float = 0.0
+        self._killed = False
 
     # ------------------------------------------------------------ lifecycle
 
@@ -384,6 +402,46 @@ class SieveServer:
         for thread in self._threads:
             thread.join(timeout=timeout)
 
+    def kill(self) -> None:
+        """Simulated process death (fault injection and crash tests).
+
+        Unlike :meth:`stop`, nothing drains and nothing joins: queued
+        requests fail immediately with
+        :class:`~repro.common.errors.ShardUnavailableError` and worker
+        threads exit after the batch they are currently serving.
+        In-flight requests still resolve — their answers were computed
+        from pre-crash state and are correct, matching a real process
+        whose last replies race its death.  Idempotent.
+        """
+        with self._lock:
+            if self._killed:
+                return
+            self._killed = True
+            self._stopped = True
+        abandoned = self._queue.close(drain=False)
+        for request in abandoned:
+            request.future.set_exception(
+                ShardUnavailableError("server killed before the request ran")
+            )
+
+    @property
+    def killed(self) -> bool:
+        with self._lock:
+            return self._killed
+
+    @property
+    def lost_workers(self) -> int:
+        """Worker threads that died while the server was running — a
+        crashed worker (see the :meth:`_worker_loop` crash barrier)
+        stays lost for the server's lifetime, shrinking its pool.  The
+        cluster supervisor treats any loss as grounds for a rebuild.
+        Always 0 once the server is stopped (an exited worker is then
+        normal shutdown, not a crash)."""
+        with self._lock:
+            if not self._started or self._stopped:
+                return 0
+            return sum(1 for t in self._threads if not t.is_alive())
+
     def __enter__(self) -> "SieveServer":
         return self.start()
 
@@ -397,17 +455,64 @@ class SieveServer:
 
     # ------------------------------------------------------------ admission
 
-    def submit(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+    def submit(
+        self, sql: Any, querier: Any, purpose: str, deadline_s: float | None = None
+    ) -> "Future[Any]":
         """Enqueue one query; the future resolves to its
-        :class:`~repro.engine.executor.QueryResult`."""
-        return self._admit(sql, querier, purpose, with_info=False)
+        :class:`~repro.engine.executor.QueryResult`.
 
-    def submit_with_info(self, sql: Any, querier: Any, purpose: str) -> "Future[Any]":
+        With ``deadline_s`` the request carries an absolute deadline
+        that many seconds out: a worker picking it up after expiry
+        resolves the future with
+        :class:`~repro.common.errors.DeadlineExceededError` instead of
+        executing it.  Pair it with ``.result(timeout=...)`` so the
+        *wait* is bounded too — a future alone blocks forever if the
+        serving worker dies (see :meth:`kill` and the cluster's
+        resilient path, which bounds both sides)."""
+        return self.admit(sql, querier, purpose, deadline=self._deadline(deadline_s))
+
+    def submit_with_info(
+        self, sql: Any, querier: Any, purpose: str, deadline_s: float | None = None
+    ) -> "Future[Any]":
         """Like :meth:`submit` but resolving to the full
         :class:`~repro.core.middleware.SieveExecution` bookkeeping."""
-        return self._admit(sql, querier, purpose, with_info=True)
+        return self.admit(
+            sql, querier, purpose, with_info=True, deadline=self._deadline(deadline_s)
+        )
 
-    def _admit(self, sql: Any, querier: Any, purpose: str, with_info: bool) -> "Future[Any]":
+    @staticmethod
+    def _deadline(deadline_s: float | None) -> float | None:
+        """Relative budget → absolute perf_counter deadline."""
+        return None if deadline_s is None else time.perf_counter() + deadline_s
+
+    def admit(
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        *,
+        with_info: bool = False,
+        deadline: float | None = None,
+        fault_tag: int | None = None,
+    ) -> "Future[Any]":
+        """The cluster tier's admission entry: like :meth:`submit` but
+        taking an *absolute* monotonic deadline (already stamped by the
+        coordinator, so retries and hedges share one budget) and the
+        coordinator-assigned fault ordinal (chaos runs only)."""
+        return self._admit(
+            sql, querier, purpose, with_info=with_info, deadline=deadline,
+            fault_tag=fault_tag,
+        )
+
+    def _admit(
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        with_info: bool,
+        deadline: float | None = None,
+        fault_tag: int | None = None,
+    ) -> "Future[Any]":
         if not self.running:
             raise ServiceStoppedError("server is not running (call start())")
         # Keep the burn-rate monitor ticking from the submission side
@@ -436,6 +541,8 @@ class SieveServer:
             # routing root), its trace id rides the request so the
             # worker's sieve.query root joins the same trace.
             trace_id=current_trace_id() or "",
+            deadline=deadline,
+            fault_tag=fault_tag,
         )
         try:
             self._queue.submit(request)
@@ -450,10 +557,22 @@ class SieveServer:
         return request.future
 
     def execute(
-        self, sql: Any, querier: Any, purpose: str, timeout: float | None = None
+        self,
+        sql: Any,
+        querier: Any,
+        purpose: str,
+        timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> Any:
-        """Blocking convenience: submit and wait for the result."""
-        return self.submit(sql, querier, purpose).result(timeout=timeout)
+        """Blocking convenience: submit and wait for the result.
+
+        ``timeout`` bounds the wait (raising
+        :class:`concurrent.futures.TimeoutError`); ``deadline_s``
+        additionally rides the request so an expired queued request is
+        refused by the worker rather than executed late."""
+        return self.submit(sql, querier, purpose, deadline_s=deadline_s).result(
+            timeout=timeout
+        )
 
     def execute_many(
         self,
@@ -514,8 +633,19 @@ class SieveServer:
                 batch = self._queue.take()
                 if batch is None:
                     return
+                crashed = False
                 try:
                     self._serve_batch(batch)
+                except BaseException:
+                    # Crash barrier: a worker dying mid-batch — the
+                    # injected WorkerCrashedError, or a genuine bug
+                    # escaping the per-request handler — must not leave
+                    # callers blocked forever on unresolved futures.
+                    # Fail them typed, then let the thread die (the
+                    # health tier's worker-liveness check sees the
+                    # shrunk pool).
+                    crashed = True
+                    self._fail_unresolved(batch)
                 finally:
                     # Flush BEFORE marking the batch complete so that
                     # anything gating on queue completion (drain,
@@ -527,6 +657,8 @@ class SieveServer:
                     if tracer is not None:
                         tracer.flush_local()
                     self._queue.complete(batch.key)
+                if crashed:
+                    return
         finally:
             if audit is not None:
                 audit.unregister_worker()
@@ -548,6 +680,61 @@ class SieveServer:
                 continue
             served_any = True
             failed = False
+            # Deadline check at pickup, on this server's (possibly
+            # skewed) clock: queue time already ate the budget, so
+            # executing now would burn a worker on an answer nobody is
+            # waiting for.  Refused typed, before any engine work.
+            if request.expired(time.perf_counter(), self.clock_skew_s):
+                request.finished_at = time.perf_counter()
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        "deadline passed while the request was queued"
+                    )
+                )
+                self.sieve.db.counters.service_deadline_timeouts += 1
+                self._record(request, failed=True)
+                continue
+            # Fault-injection hooks run OUTSIDE the per-request
+            # try/except below: an injected worker crash must escape to
+            # the worker loop's crash barrier, not resolve this one
+            # future and keep the thread alive.
+            if self.fault_injector is not None:
+                action = self.fault_injector.serve_action(request.fault_tag)
+                if action is not None:
+                    if action.kind == "crash_worker":
+                        raise WorkerCrashedError(
+                            "injected worker crash while serving"
+                        )
+                    if action.kind == "drop":
+                        # Lost reply: the future never resolves.  The
+                        # caller's bounded wait (deadline / timeout) is
+                        # the only recovery — exactly the hang this
+                        # tier's deadlines exist to catch.
+                        continue
+                    if action.kind in ("delay", "hang") and action.delay_s > 0.0:
+                        time.sleep(action.delay_s)
+                    elif action.kind == "backend_error":
+                        backend = self.sieve.backend
+                        if backend is not None and hasattr(backend, "inject_failures"):
+                            backend.inject_failures(1)
+                        else:
+                            # No backend under the pipeline: surface the
+                            # same typed failure the backend would.
+                            request.finished_at = time.perf_counter()
+                            request.future.set_exception(
+                                ExecutionError("injected backend fault")
+                            )
+                            self._record(request, failed=True)
+                            continue
+                    elif action.kind == "duplicate":
+                        # Duplicated delivery: the query runs twice
+                        # (double engine work, double counters); only
+                        # the second answer is delivered.  Safe —
+                        # queries are read-only.
+                        try:
+                            session.execute(request.sql)
+                        except Exception:
+                            pass  # the delivered attempt decides the outcome
             if request.trace_id:
                 set_inherited_trace_id(request.trace_id)
             if self.inject_delay_s > 0.0:
@@ -574,6 +761,25 @@ class SieveServer:
         with self._lock:
             self._batches += 1
             counters.service_batches += 1
+
+    def _fail_unresolved(self, batch: Batch) -> None:
+        """The crash barrier's cleanup: every request of the batch the
+        dying worker had not resolved fails with
+        :class:`~repro.common.errors.ShardUnavailableError` — callers
+        get a typed error immediately instead of a future that never
+        resolves."""
+        for request in batch.requests:
+            if request.future.done():
+                continue
+            request.finished_at = time.perf_counter()
+            # A request still PENDING (the crash hit before its
+            # set_running call) accepts set_exception directly; one
+            # already RUNNING does too.
+            request.future.set_exception(
+                ShardUnavailableError("worker crashed while serving this batch")
+            )
+            if request.started_at:
+                self._record(request, failed=True)
 
     def _record(self, request: ServiceRequest, failed: bool) -> None:
         counters = self.sieve.db.counters

@@ -82,6 +82,40 @@ def test_rwlock_write_reentrant_and_read_under_write():
     assert lock.write_depth() == 0
 
 
+def _acquirable_within(acquire, release, timeout_s=2.0):
+    """True iff ``acquire()`` (then ``release()``) completes within the
+    budget on a helper thread — probes for a leaked hold without ever
+    deadlocking the test suite."""
+    done = threading.Event()
+
+    def probe():
+        acquire()
+        release()
+        done.set()
+
+    threading.Thread(target=probe, daemon=True).start()
+    return done.wait(timeout_s)
+
+
+def test_rwlock_released_when_read_body_raises():
+    lock = RWLock()
+    with pytest.raises(ValueError):
+        with lock.read_locked():
+            raise ValueError("reader body failed")
+    # A leaked read hold would block this writer forever.
+    assert _acquirable_within(lock.acquire_write, lock.release_write)
+
+
+def test_rwlock_released_when_write_body_raises():
+    lock = RWLock()
+    with pytest.raises(ValueError):
+        with lock.write_locked():
+            raise ValueError("writer body failed")
+    assert lock.write_depth() == 0
+    assert _acquirable_within(lock.acquire_write, lock.release_write)
+    assert _acquirable_within(lock.acquire_read, lock.release_read)
+
+
 # -------------------------------------------------------------- SingleFlight
 
 
@@ -122,6 +156,51 @@ def test_single_flight_propagates_exception_then_retries():
         flight.do("k", boom)
     value, leader = flight.do("k", lambda: 42)  # key was cleared
     assert value == 42 and leader
+
+
+def test_single_flight_leader_crash_reaches_every_waiter_once():
+    """A crashing leader must fail each concurrent waiter with the
+    *same* exception, exactly once per waiter, while running the
+    builder exactly once — and must leave the key clear for a retry."""
+    flight = SingleFlight()
+    calls = []
+    gate = threading.Event()  # set once the leader is inside build()
+    release = threading.Event()
+    boom = RuntimeError("leader crashed")
+
+    def build():
+        calls.append(1)
+        gate.set()
+        release.wait(timeout=5)
+        raise boom
+
+    seen: list[BaseException] = []
+    seen_lock = threading.Lock()
+
+    def worker(i):
+        if i > 0:
+            gate.wait(timeout=5)  # guarantee thread 0 leads
+        try:
+            flight.do("k", build)
+        except RuntimeError as exc:
+            with seen_lock:
+                seen.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+    threads[0].start()
+    gate.wait(timeout=5)
+    for t in threads[1:]:
+        t.start()
+    time.sleep(0.1)  # let every follower reach the flight's wait
+    release.set()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1  # the builder ran once, in the leader
+    assert len(seen) == N_THREADS  # each waiter failed exactly once
+    assert all(exc is boom for exc in seen)  # ...with the leader's exception
+    assert flight.in_flight() == 0
+    value, leader = flight.do("k", lambda: "rebuilt")  # key was cleared
+    assert value == "rebuilt" and leader
 
 
 # --------------------------------------------------------------- GuardCache

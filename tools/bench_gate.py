@@ -173,6 +173,25 @@ BENCHES: tuple[GateBench, ...] = (
         ),
     ),
     GateBench(
+        key="faults",
+        bench_file="benchmarks/bench_faults.py",
+        snapshot="BENCH_faults.json",
+        metrics=(
+            # The resilient path's fault-free cost lives at the noise
+            # floor; hold it inside the < 5% target band absolutely.
+            Metric("overhead_resilient", _path("overhead_resilient"),
+                   "lower", abs_tol=0.05),
+            Metric("recovery_s", _path("recovery_s"), "lower", abs_tol=1.0),
+            # The fail-closed contract: any divergence fails the gate.
+            Metric("chaos_divergences", _path("chaos_divergences"),
+                   "lower", abs_tol=0.0),
+        ),
+        env={
+            "SIEVE_BENCH_FAULTS_QUERIES": "200",
+            "SIEVE_BENCH_FAULTS_PLANS": "5",
+        },
+    ),
+    GateBench(
         key="health",
         bench_file="benchmarks/bench_health.py",
         snapshot="BENCH_health.json",

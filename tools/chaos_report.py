@@ -1,0 +1,112 @@
+"""Replay a seeded chaos matrix and print the one-screen verdict.
+
+The fault tier's human surface: for each seed, one row — queries
+answered vs refused (typed), policy writes committed vs aborted,
+faults that actually fired, supervisor rebuilds, and the verdict
+(``ok`` or ``DIVERGED``).  Below the matrix: a census of fired fault
+kinds across the whole run, and the mixed-epoch *teeth* check — the
+deliberately staged fence-gate-off bug the differential must catch
+(a chaos suite that cannot catch its own planted bug proves nothing).
+
+As a script it is self-verifying (the CI smoke shape shared with
+``tools/health_report.py`` / ``tools/trace_dump.py``): it exits
+non-zero on any row-identity divergence, any untyped error, or
+missing teeth.  A failing seed replays exactly —
+``python tools/chaos_report.py --seeds N --start SEED`` — because
+plans, op mixes, and retry jitter are all pure functions of the seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.chaos import (  # noqa: E402
+    ChaosResult,
+    mixed_epoch_divergence,
+    run_chaos_plan,
+)
+
+HEADERS = [
+    "seed", "queries", "answered", "refused",
+    "writes", "aborted", "faults", "rebuilds", "verdict",
+]
+
+
+def render_matrix(results: "list[ChaosResult]") -> list[str]:
+    widths = [max(len(h), 8) for h in HEADERS]
+    lines = ["  " + " ".join(h.rjust(w) for h, w in zip(HEADERS, widths))]
+    for result in results:
+        cells = [str(c) for c in result.row()]
+        lines.append("  " + " ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return lines
+
+
+def render_census(results: "list[ChaosResult]") -> list[str]:
+    fired: dict[str, int] = {}
+    for result in results:
+        for kind, count in result.faults_fired.items():
+            fired[kind] = fired.get(kind, 0) + count
+    lines = ["fired fault census:"]
+    for kind, count in sorted(fired.items()):
+        lines.append(f"  {kind:<16} {count}")
+    if not fired:
+        lines.append("  (no fault fired — increase --seeds)")
+    return lines
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seeds", type=int, default=15, help="number of plans (default 15)"
+    )
+    parser.add_argument(
+        "--start", type=int, default=0, help="first seed (replay a failure)"
+    )
+    parser.add_argument(
+        "--skip-teeth", action="store_true",
+        help="skip the mixed-epoch teeth check (matrix only)",
+    )
+    args = parser.parse_args(argv)
+
+    results = [
+        run_chaos_plan(seed) for seed in range(args.start, args.start + args.seeds)
+    ]
+    print(f"chaos matrix — {args.seeds} seeded plans "
+          f"(seeds {args.start}..{args.start + args.seeds - 1}):")
+    for line in render_matrix(results):
+        print(line)
+    print()
+    for line in render_census(results):
+        print(line)
+
+    failed = [r for r in results if not r.ok]
+    for result in failed:
+        print(f"\nseed {result.seed} DIVERGED — {result.plan_summary}")
+        for divergence in result.divergences:
+            print(f"  {divergence}")
+
+    teeth_ok = True
+    if not args.skip_teeth:
+        naive_caught, fenced_clean = mixed_epoch_divergence()
+        print(f"\nteeth (fence gate off, staged mixed-epoch bug): "
+              f"{'caught' if naive_caught else 'MISSED'}")
+        print(f"fence gate on, same scenario: "
+              f"{'refused at prepare' if fenced_clean else 'NOT PREVENTED'}")
+        teeth_ok = naive_caught and fenced_clean
+
+    if failed or not teeth_ok:
+        print("\nchaos report: FAIL")
+        return 1
+    print(f"\nchaos report: OK — {sum(r.answered for r in results)} answers "
+          "row-identical to the fault-free oracle, every refusal typed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
