@@ -274,6 +274,8 @@ class ClusterShard:
         out = {key[0] for key in self.sieve.guard_cache.keys()}
         if self.sieve.rewrite_cache is not None:
             out |= self.sieve.rewrite_cache.queriers()
+        if self.sieve.plan_cache is not None:
+            out |= self.sieve.plan_cache.queriers()
         out |= {e.querier for e in self.sieve.guard_store.cached_expressions()}
         return out
 
@@ -282,6 +284,8 @@ class ClusterShard:
         dropped = self.sieve.guard_cache.invalidate(querier=querier)
         if self.sieve.rewrite_cache is not None:
             dropped += self.sieve.rewrite_cache.invalidate(querier=querier)
+        if self.sieve.plan_cache is not None:
+            dropped += self.sieve.plan_cache.invalidate(querier=querier)
         dropped += self.sieve.guard_store.invalidate(querier=querier)
         return dropped
 
@@ -333,7 +337,7 @@ class ClusterStats:
     :meth:`LatencySummary.merge
     <repro.service.server.LatencySummary.merge>` remains the fallback
     for stats without histograms); ``guard_cache`` /
-    ``rewrite_cache`` aggregate the shards'
+    ``rewrite_cache`` / ``plan_cache`` aggregate the shards'
     :class:`~repro.core.cache.CacheStats` snapshots with the hit rate
     recomputed over the summed traffic.  ``partition_policies`` is the
     per-shard policy-partition size — the 1/N corpus share the bench
@@ -353,6 +357,7 @@ class ClusterStats:
     queue_wait: LatencySummary = field(default_factory=LatencySummary)
     guard_cache: dict[str, float] = field(default_factory=dict)
     rewrite_cache: dict[str, float] = field(default_factory=dict)
+    plan_cache: dict[str, float] = field(default_factory=dict)
     partition_policies: dict[str, int] = field(default_factory=dict)
     per_shard: dict[str, ServiceStats] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
@@ -380,6 +385,7 @@ class ClusterStats:
             queue_wait=_merge_latency(stats, "queue_wait_hist", "queue_wait"),
             guard_cache=_merge_cache_stats(s.guard_cache for s in stats),
             rewrite_cache=_merge_cache_stats(s.rewrite_cache for s in stats),
+            plan_cache=_merge_cache_stats(s.plan_cache for s in stats),
             partition_policies=dict(partition_policies),
             per_shard=dict(per_shard),
             counters=dict(counters),
@@ -400,6 +406,7 @@ class ClusterStats:
             "queue_wait": self.queue_wait.to_dict(),
             "guard_cache": dict(self.guard_cache),
             "rewrite_cache": dict(self.rewrite_cache),
+            "plan_cache": dict(self.plan_cache),
             "partition_policies": dict(self.partition_policies),
             "per_shard": {
                 name: stats.to_dict() for name, stats in self.per_shard.items()

@@ -443,6 +443,249 @@ class RewriteCache:
             return count
 
 
+DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+
+@dataclass
+class CachedPlan:
+    """One memoized end-of-pipeline artifact for a prepared query.
+
+    ``rewritten`` is the enforcement rewrite's AST, ``planned`` the
+    bundled engine's :class:`~repro.optimizer.planner.PlannedQuery`
+    (``None`` when a backend executes the printed ``info.sql``
+    instead).  Plan nodes are never mutated by the executors, so one
+    PlannedQuery is safely re-executed any number of times from any
+    thread.  ``info`` carries the original rewrite bookkeeping, so a
+    hit's audit record is identical to the cold path's (the same
+    cache-transparency contract :class:`CachedRewrite` documents).
+
+    Entries are validated on two axes: the policy ``epoch`` (stale
+    guards must never run) and the database ``plan_version`` (catalog /
+    UDF / statistics changes re-plan).  ``guard_signature`` records the
+    guard keys the rewrite materialized — introspection for tests and
+    operators, and the reason a hit can be trusted: any mutation that
+    could change the signature bumps the epoch.
+    """
+
+    rewritten: "Query"
+    planned: Any  # PlannedQuery | None (backend executions carry None)
+    info: Any  # RewriteInfo (not imported: cycle with core.rewriter)
+    policies_considered: int
+    epoch: int
+    plan_version: tuple
+    guard_signature: tuple
+    tables: frozenset[str]
+    querier: Any
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU of post-rewrite, post-plan artifacts.
+
+    Keyed by ``(querier, purpose, template_key, binding values)`` —
+    the binding values are part of the key because strategy choice and
+    access-path planning are *value-dependent* (selectivity estimates
+    read the literals), so a plan cached per-template-only could
+    diverge from what the unprepared pipeline would build for other
+    values.  Keying on the values keeps the prepared path row- and
+    counter-identical to the unprepared one by construction; repeated
+    shapes with repeated values (the Fig. 6 serving workload — and any
+    zero-literal query) skip parse → strategy → rewrite → plan
+    entirely.
+
+    Validation mirrors :class:`RewriteCache` (policy epoch, both
+    directions) plus the database's ``plan_version`` (catalog / UDF /
+    statistics fingerprint).  :meth:`on_policy_mutation` drops only
+    entries whose referenced tables and querier the mutated policy can
+    affect and re-stamps the rest; :meth:`resolve` adds single-flight
+    population so N concurrent misses of one key build one plan.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._flights = SingleFlight()
+
+    @staticmethod
+    def _key(querier: Any, purpose: str, template_key: str, values: tuple) -> tuple:
+        return (querier, purpose, template_key, values)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self,
+        querier: Any,
+        purpose: str,
+        template_key: str,
+        values: tuple,
+        epoch: int,
+        plan_version: tuple,
+    ) -> CachedPlan | None:
+        key = self._key(querier, purpose, template_key, values)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.plan_version != plan_version:
+                # Catalog / stats / UDF registry moved: the plan may be
+                # arbitrarily wrong (dropped index, new histogram) —
+                # drop it for every epoch.
+                del self._entries[key]
+                self.stats.misses += 1
+                return None
+            if entry.epoch < epoch:
+                del self._entries[key]  # stale: mutation hook never saw it
+                self.stats.misses += 1
+                return None
+            if entry.epoch > epoch:
+                # Caller pinned behind a concurrent mutation: miss, but
+                # keep the entry live-epoch traffic is using (same rule
+                # as GuardCache.get).
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(
+        self,
+        querier: Any,
+        purpose: str,
+        template_key: str,
+        values: tuple,
+        epoch: int,
+        plan_version: tuple,
+        rewritten: "Query",
+        planned: Any,
+        info: Any,
+        policies_considered: int,
+        tables: Iterable[str],
+    ) -> CachedPlan:
+        guard_keys = getattr(info, "guard_keys", {}) or {}
+        entry = CachedPlan(
+            rewritten=rewritten,
+            planned=planned,
+            info=info,
+            policies_considered=policies_considered,
+            epoch=epoch,
+            plan_version=plan_version,
+            guard_signature=tuple(
+                (table, tuple(keys)) for table, keys in sorted(guard_keys.items())
+            ),
+            tables=frozenset(t.lower() for t in tables),
+            querier=querier,
+        )
+        key = self._key(querier, purpose, template_key, values)
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.epoch > epoch:
+                return entry  # never clobber a fresher-epoch plan
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def resolve(
+        self,
+        querier: Any,
+        purpose: str,
+        template_key: str,
+        values: tuple,
+        epoch: int,
+        plan_version: tuple,
+        builder: Any,
+    ) -> tuple[CachedPlan, Any, bool]:
+        """Get-or-build with single-flight population.
+
+        ``builder()`` runs outside the cache lock, must :meth:`put` the
+        entry itself, and returns ``(entry, execution)`` — the leader's
+        in-flight execution bookkeeping, which coalesced followers must
+        NOT share (it is mutated downstream), so they receive ``None``
+        and rebuild their view from the entry.  Returns ``(entry,
+        execution_or_None, hit)``.
+        """
+        entry = self.get(querier, purpose, template_key, values, epoch, plan_version)
+        if entry is not None:
+            return entry, None, True
+        flight_key = (querier, purpose, template_key, values, epoch, plan_version)
+        (entry, execution), leader = self._flights.do(flight_key, builder)
+        if not leader:
+            with self._lock:
+                self.stats.coalesced += 1
+            execution = None
+        return entry, execution, False
+
+    def charge(self, counters, hit: bool) -> None:
+        """Tick plan_cache_hits/misses under this cache's lock (plain
+        ``+=`` from concurrent service workers loses increments)."""
+        with self._lock:
+            if hit:
+                counters.plan_cache_hits += 1
+            else:
+                counters.plan_cache_misses += 1
+
+    def invalidate(self, querier: Any = None, table: str | None = None) -> int:
+        """Drop entries for one querier and/or referencing one table
+        (``None`` matches everything)."""
+        table_lc = table.lower() if table is not None else None
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if (querier is None or entry.querier == querier)
+                and (table_lc is None or table_lc in entry.tables)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
+    def queriers(self) -> set[Any]:
+        """Distinct queriers with at least one cached plan (the cluster
+        tier's rebalance and recovery sweeps consult this, exactly as
+        they do :meth:`RewriteCache.queriers`)."""
+        with self._lock:
+            return {entry.querier for entry in self._entries.values()}
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += count
+            return count
+
+    def on_policy_mutation(self, kind: str, policy: Policy, epoch: int, groups) -> int:
+        """Targeted invalidation after a policy insert/delete/update:
+        drop plans referencing the mutated policy's relation whose
+        querier the policy names (directly or via a group), re-stamp
+        the epoch-1 survivors so they keep hitting."""
+        del kind
+        table_lc = policy.table.lower()
+        dropped = 0
+        with self._lock:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                affected = table_lc in entry.tables and (
+                    policy.querier == entry.querier
+                    or policy.querier in groups.groups_of(entry.querier)
+                )
+                if affected:
+                    del self._entries[key]
+                    dropped += 1
+                elif entry.epoch == epoch - 1:
+                    entry.epoch = epoch
+            self.stats.invalidations += dropped
+        return dropped
+
+
 class SieveSession:
     """A ``(querier, purpose)``-scoped handle on the middleware.
 
@@ -525,6 +768,8 @@ class SieveSession:
         dropped = self._sieve.guard_cache.invalidate(querier=self.querier)
         if self._sieve.rewrite_cache is not None:
             dropped += self._sieve.rewrite_cache.invalidate(querier=self.querier)
+        if self._sieve.plan_cache is not None:
+            dropped += self._sieve.plan_cache.invalidate(querier=self.querier)
         dropped += self._sieve.guard_store.invalidate(querier=self.querier)
         return dropped
 
@@ -540,6 +785,12 @@ class SieveSession:
 
     def rewritten_sql(self, sql: "str | Query") -> str:
         return self._sieve.rewritten_sql(sql, self.querier, self.purpose)
+
+    def prepare(self, sql: "str | Query") -> Any:
+        """A :class:`~repro.core.middleware.PreparedQuery` bound to this
+        session's (querier, purpose); see :meth:`Sieve.prepare
+        <repro.core.middleware.Sieve.prepare>`."""
+        return self._sieve.prepare(sql, self.querier, self.purpose)
 
     def execute(self, sql: "str | Query") -> "QueryResult":
         return self._sieve.execute(sql, self.querier, self.purpose)

@@ -59,8 +59,10 @@ from repro.audit import AuditLog, Explanation, explain_row, make_payload, result
 from repro.common.errors import SieveError
 from repro.core.cache import (
     DEFAULT_GUARD_CACHE_CAPACITY,
+    DEFAULT_PLAN_CACHE_CAPACITY,
     DEFAULT_REWRITE_CACHE_CAPACITY,
     GuardCache,
+    PlanCache,
     RewriteCache,
     SieveSession,
 )
@@ -79,6 +81,7 @@ from repro.core.rewriter import (
 from repro.core.strategy import StrategyDecision, choose_strategy
 from repro.engine.executor import QueryResult
 from repro.expr.nodes import ColumnRef, Star
+from repro.expr.params import collect_params, bind_query, normalize_bindings
 from repro.obs.tracing import SlowQueryLog, Tracer, current_trace_id, span
 from repro.policy.store import PolicyStore
 from repro.sql.ast import Query, Select
@@ -149,6 +152,7 @@ class Sieve:
         guard_cache_capacity: int = DEFAULT_GUARD_CACHE_CAPACITY,
         backend=None,
         rewrite_cache_capacity: int = 0,
+        plan_cache_capacity: int = 0,
         audit: AuditLog | None = None,
     ):
         self.db = db
@@ -164,6 +168,13 @@ class Sieve:
             RewriteCache(capacity=rewrite_cache_capacity)
             if rewrite_cache_capacity
             else None
+        )
+        # Prepared-query tier: post-rewrite, post-plan artifacts keyed
+        # by (querier, purpose, template, binding values) — see
+        # :class:`~repro.core.cache.PlanCache`.  0 = off; the first
+        # :meth:`prepare` call turns it on.
+        self.plan_cache = (
+            PlanCache(capacity=plan_cache_capacity) if plan_cache_capacity else None
         )
         # Optional audit tier (repro.audit): every execution appends a
         # hash-chained DecisionRecord.  None = off (zero cost).
@@ -252,6 +263,17 @@ class Sieve:
             self.rewrite_cache = RewriteCache(capacity=capacity)
         return self.rewrite_cache
 
+    def enable_plan_cache(
+        self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY
+    ) -> PlanCache:
+        """Turn on the prepared-query plan cache (idempotent).
+
+        :meth:`prepare` calls this implicitly, so an explicit call is
+        only needed to size the cache before traffic arrives."""
+        if self.plan_cache is None:
+            self.plan_cache = PlanCache(capacity=capacity)
+        return self.plan_cache
+
     def enable_tracing(
         self, tracer: Tracer | None = None, slow_query_ms: float | None = None
     ) -> Tracer:
@@ -304,6 +326,10 @@ class Sieve:
         self.guard_cache.on_policy_mutation(
             kind, policy, epoch, self.policy_store.groups
         )
+        if self.plan_cache is not None:
+            self.plan_cache.on_policy_mutation(
+                kind, policy, epoch, self.policy_store.groups
+            )
 
     def invalidate_caches(self) -> int:
         """Drop all cached guard state — the LRU tier, the rewrite
@@ -314,6 +340,8 @@ class Sieve:
         dropped = self.guard_cache.clear()
         if self.rewrite_cache is not None:
             dropped += self.rewrite_cache.clear()
+        if self.plan_cache is not None:
+            dropped += self.plan_cache.clear()
         dropped += self.guard_store.invalidate()
         return dropped
 
@@ -491,35 +519,54 @@ class Sieve:
         ) as root:
             execution, rewritten = self._execute_with_info(sql, querier, purpose)
             execution.trace_id = root.trace_id
-            root.set(
-                engine=execution.engine,
-                policy_epoch=execution.policy_epoch,
-                rows_admitted=len(execution.result.rows),
-                plain_select=_is_plain_select(rewritten),
-                enforcement={
-                    table: {
-                        "strategy": decision.strategy.value,
-                        "guard_keys": list(execution.rewrite.guard_keys.get(table, ())),
-                        "est_rows": list(decision.guard_est_rows),
-                        "query_conjuncts": decision.query_conjuncts,
-                    }
-                    for table, decision in execution.rewrite.decisions.items()
-                },
-            )
+            self._annotate_root_span(root, execution, rewritten)
         return execution
+
+    @staticmethod
+    def _annotate_root_span(root, execution: SieveExecution, rewritten: Query) -> None:
+        root.set(
+            engine=execution.engine,
+            policy_epoch=execution.policy_epoch,
+            rows_admitted=len(execution.result.rows),
+            plain_select=_is_plain_select(rewritten),
+            enforcement={
+                table: {
+                    "strategy": decision.strategy.value,
+                    "guard_keys": list(execution.rewrite.guard_keys.get(table, ())),
+                    "est_rows": list(decision.guard_est_rows),
+                    "query_conjuncts": decision.query_conjuncts,
+                }
+                for table, decision in execution.rewrite.decisions.items()
+            },
+        )
 
     def _execute_with_info(
         self, sql: str | Query, querier: Any, purpose: str
     ) -> tuple[SieveExecution, Query]:
         execution, rewritten = self._prepare(sql, querier, purpose)
-        # Audit scopes its counter delta around *execution only*:
-        # guard generation / strategy / rewrite charge no enforcement
-        # counters, so the recorded delta is identical for cache-hit
-        # and cold paths — the cache-transparency the replay oracle
-        # depends on.  Snapshot/diff is a fixed-size dict pass over
-        # repro.db.counters, so the hot-path cost stays O(1).  Tracing
-        # wants the same delta (the profiler reads it off the execute
-        # span), so it is taken whenever either consumer is on.
+        self._finish_execution(sql, execution, rewritten)
+        return execution, rewritten
+
+    def _finish_execution(
+        self,
+        sql: str | Query,
+        execution: SieveExecution,
+        rewritten: Query,
+        planned=None,
+    ) -> SieveExecution:
+        """Run a finished rewrite and record the audit/tracing delta.
+
+        ``planned`` is the prepared-query fast path: an already-built
+        :class:`~repro.optimizer.planner.PlannedQuery` executed via
+        ``db.run_plan`` so a warm hit skips planning too.  Audit scopes
+        its counter delta around *execution only*: guard generation /
+        strategy / rewrite / planning charge no enforcement counters,
+        so the recorded delta is identical for cache-hit and cold paths
+        — the cache-transparency the replay oracle depends on.
+        Snapshot/diff is a fixed-size dict pass over repro.db.counters,
+        so the hot-path cost stays O(1).  Tracing wants the same delta
+        (the profiler reads it off the execute span), so it is taken
+        whenever either consumer is on."""
         need_delta = self.audit is not None or self.tracer is not None
         before = self.db.counters.snapshot() if need_delta else None
         with span("execute") as ex_span:
@@ -537,7 +584,10 @@ class Sieve:
                 counters.backend_rows += len(execution.result.rows)
             else:
                 start = time.perf_counter()
-                execution.result = self.db.execute(rewritten)
+                if planned is not None:
+                    execution.result = self.db.run_plan(planned)
+                else:
+                    execution.result = self.db.execute(rewritten)
                 execution.execution_ms = (time.perf_counter() - start) * 1000.0
                 execution.engine = (
                     "vectorized" if getattr(self.db, "vectorized", False) else "tuple"
@@ -552,7 +602,7 @@ class Sieve:
             if self.audit is not None:
                 with span("audit.record"):
                     self._record_decision(sql, execution, delta)
-        return execution, rewritten
+        return execution
 
     def _record_decision(
         self, sql: str | Query, execution: SieveExecution, delta: dict[str, int]
@@ -584,6 +634,111 @@ class Sieve:
             trace_id=current_trace_id() or "",
         )
         self.audit.record(payload)
+
+    # ------------------------------------------------------ prepared queries
+
+    def prepare(self, sql: str | Query, querier: Any, purpose: str) -> "PreparedQuery":
+        """Parse once, execute many: a :class:`PreparedQuery` handle.
+
+        ``sql`` may contain ``?`` positional and ``:name`` parameters;
+        each :meth:`PreparedQuery.execute` binds a value vector and
+        runs the full enforcement pipeline, memoizing the post-rewrite,
+        post-plan artifact in the plan cache (enabled here if it is not
+        already).  Repeated executions with the same values — including
+        every execution of a zero-parameter query — skip parse,
+        strategy, rewrite and planning entirely while staying row- and
+        counter-identical to the unprepared path, and the cache is
+        fenced to the policy epoch and catalog/stats version so a
+        policy or schema change is never served a stale plan.
+        """
+        self.enable_plan_cache()
+        template = parse_query(sql) if isinstance(sql, str) else sql
+        return PreparedQuery(self, template, querier, purpose)
+
+    def _prepared_execute(
+        self, prepared: "PreparedQuery", params
+    ) -> tuple[SieveExecution, Query]:
+        values = normalize_bindings(prepared.params, params)
+        start = time.perf_counter()
+        metadata = QueryMetadata(querier=prepared.querier, purpose=prepared.purpose)
+        cache = self.plan_cache
+        snapshot = self.policy_store.snapshot()
+        plan_version = self.db.plan_version
+        counters = self.db.counters
+
+        def build():
+            bound = bind_query(prepared.template, values)
+            execution, rewritten = self._prepare(
+                bound, prepared.querier, prepared.purpose
+            )
+            planned = None if self.backend is not None else self.db.plan(rewritten)
+            if cache is not None:
+                # Stamp the entry with the epoch and plan version the
+                # pipeline *actually* saw (``_prepare`` snapshots the
+                # store itself, and planning may lazily rebuild stats).
+                entry = cache.put(
+                    prepared.querier,
+                    prepared.purpose,
+                    prepared.template_key,
+                    values,
+                    execution.policy_epoch,
+                    self.db.plan_version,
+                    rewritten,
+                    planned,
+                    execution.rewrite,
+                    execution.policies_considered,
+                    collect_table_names(bound),
+                )
+            else:  # pragma: no cover - prepare() always enables the cache
+                entry = None
+            return entry, (execution, rewritten, bound, planned)
+
+        with span("middleware.prepare") as prep:
+            if cache is not None:
+                entry, built, hit = cache.resolve(
+                    prepared.querier,
+                    prepared.purpose,
+                    prepared.template_key,
+                    values,
+                    snapshot.epoch,
+                    plan_version,
+                    build,
+                )
+                cache.charge(counters, hit)
+                prep.set(cached=hit, template=prepared.template_key)
+            else:  # pragma: no cover - prepare() always enables the cache
+                entry, built = build()
+                hit = False
+            if built is not None:
+                execution, rewritten, bound, planned = built
+            else:
+                # Warm hit (or coalesced follower): rebuild the view of
+                # the execution from the entry — the same bookkeeping
+                # the cold path produced, so audit records stay
+                # cache-transparent.
+                rewritten = entry.rewritten
+                planned = entry.planned
+                bound = None
+                execution = SieveExecution(
+                    result=QueryResult(columns=[], rows=[]),
+                    rewrite=entry.info,
+                    metadata=metadata,
+                    policies_considered=entry.policies_considered,
+                    middleware_ms=(time.perf_counter() - start) * 1000.0,
+                    policy_epoch=entry.epoch,
+                )
+        if bound is None:
+            # The audit record wants the bound statement (replay reruns
+            # it); binding is only worth paying for when auditing.
+            sql_for_audit: str | Query = (
+                bind_query(prepared.template, values)
+                if self.audit is not None
+                else prepared.template_key
+            )
+        else:
+            sql_for_audit = bound
+        self._finish_execution(sql_for_audit, execution, rewritten, planned=planned)
+        return execution, rewritten
 
     def rewritten_sql(self, sql: str | Query, querier: Any, purpose: str) -> str:
         """The enforcement rewrite as SQL text (for inspection/docs) —
@@ -678,3 +833,64 @@ class Sieve:
                 f"use explain_denial"
             )
         return explanation
+
+
+class PreparedQuery:
+    """A parsed, parameterized statement bound to one (querier, purpose).
+
+    Obtained from :meth:`Sieve.prepare` or :meth:`SieveSession.prepare
+    <repro.core.cache.SieveSession.prepare>`::
+
+        prepared = sieve.prepare(
+            "SELECT * FROM WiFi_Dataset WHERE ts_date BETWEEN ? AND ?",
+            querier="Prof.Smith", purpose="analytics",
+        )
+        first = prepared.execute([10, 20])
+        again = prepared.execute([10, 20])   # warm: no parse/rewrite/plan
+
+    ``params`` lists the template's parameter slots; ``execute`` takes
+    a slot-ordered sequence or (for ``:name`` templates) a mapping.
+    The handle itself holds no mutable state — all memoization lives in
+    the middleware's epoch-fenced :class:`~repro.core.cache.PlanCache`
+    — so one PreparedQuery may be shared across threads, and policy or
+    catalog changes take effect on the very next execution.
+    """
+
+    def __init__(self, sieve: Sieve, template: Query, querier: Any, purpose: str):
+        self._sieve = sieve
+        self.template = template
+        self.querier = querier
+        self.purpose = purpose
+        self.params = collect_params(template)
+        #: Canonical template identity — the default-dialect SQL text,
+        #: so the same shape prepared from different whitespace or via
+        #: the auto-parameterizer lands on the same cache entries.
+        self.template_key = to_sql(template)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreparedQuery({self.template_key!r}, querier={self.querier!r}, "
+            f"purpose={self.purpose!r}, params={len(self.params)})"
+        )
+
+    def execute(self, params=None) -> QueryResult:
+        """Bind ``params`` and run under full policy enforcement."""
+        return self.execute_with_info(params).result
+
+    def execute_with_info(self, params=None) -> SieveExecution:
+        sieve = self._sieve
+        if sieve.tracer is None:
+            return sieve._prepared_execute(self, params)[0]
+        with sieve.tracer.trace(
+            "sieve.query", querier=str(self.querier), purpose=self.purpose
+        ) as root:
+            execution, rewritten = sieve._prepared_execute(self, params)
+            execution.trace_id = root.trace_id
+            sieve._annotate_root_span(root, execution, rewritten)
+        return execution
+
+    def execute_many(self, param_sets) -> list[QueryResult]:
+        """Run one execution per binding vector (the batch analogue of
+        :meth:`SieveSession.execute_many
+        <repro.core.cache.SieveSession.execute_many>`)."""
+        return [self.execute(params) for params in param_sets]

@@ -54,6 +54,7 @@ from repro.expr.nodes import (
     Literal,
     Not,
     Or,
+    Param,
 )
 from repro.sql.ast import (
     CTE,
@@ -183,7 +184,7 @@ def _is_copyable_predicate(expr: Expr, aliases: set[str], columns: set[str]) -> 
         elif isinstance(node, (FuncCall,)):
             return False  # UDFs/aggregates are not safe to duplicate
         elif not isinstance(
-            node, (Literal, Comparison, Between, InList, And, Or, Not, Arith, IsNull)
+            node, (Literal, Param, Comparison, Between, InList, And, Or, Not, Arith, IsNull)
         ):
             return False
     return saw_column

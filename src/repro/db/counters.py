@@ -14,6 +14,15 @@ cache (:mod:`repro.core.cache`); they carry zero cost weight — cache
 bookkeeping is not an engine cost — but let benches assert hit rates
 deterministically.
 
+``plan_cache_hits`` / ``plan_cache_misses`` track the prepared-query
+plan cache (:class:`repro.core.cache.PlanCache`): a hit means an
+execution reused a memoized post-rewrite, post-plan artifact and
+skipped parse → strategy → rewrite → plan entirely.  Zero cost weight
+for the same reason as the guard cache — cache bookkeeping is not
+enforcement work, and the executed plan charges the exact same
+engine counters either way — but benches and the serving tier's
+stats assert hit rates on them deterministically.
+
 ``batches`` counts row batches formed by the vectorized executor's
 scan nodes, and ``expr_cache_hits`` / ``expr_cache_misses`` track the
 Database's compiled-expression cache (:mod:`repro.expr.codegen`).
@@ -117,6 +126,8 @@ class CounterSet:
     udf_policy_evals: int = 0
     guard_cache_hits: int = 0
     guard_cache_misses: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     batches: int = 0
     expr_cache_hits: int = 0
     expr_cache_misses: int = 0
@@ -158,6 +169,8 @@ class CounterSet:
         "udf_policy_evals",
         "guard_cache_hits",
         "guard_cache_misses",
+        "plan_cache_hits",
+        "plan_cache_misses",
         "batches",
         "expr_cache_hits",
         "expr_cache_misses",

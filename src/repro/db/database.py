@@ -70,22 +70,37 @@ class Database:
         self.codegen = codegen
         self._fn_cache = CompiledExprCache()
         self._udfs: dict[str, Callable[..., Any]] = {}
+        # Bumped on every catalog / UDF-registry change; combined with
+        # the stats version into :attr:`plan_version`, the fingerprint
+        # cached plans are validated against.
+        self.schema_version = 0
+
+    @property
+    def plan_version(self) -> tuple[int, int]:
+        """Fingerprint of everything planner output depends on besides
+        the query itself: (catalog+UDF version, statistics version)."""
+        return (self.schema_version, self.stats.version)
 
     # ------------------------------------------------------------------ DDL
 
     def create_table(
         self, name: str, schema: Schema, page_size: int | None = None
     ) -> HeapTable:
-        return self.catalog.create_table(
+        table = self.catalog.create_table(
             name, schema, page_size=page_size or self.page_size
         )
+        self.schema_version += 1
+        return table
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
         self.stats.invalidate(name)
+        self.schema_version += 1
 
     def create_index(self, table: str, column: str, kind: str = "btree", name: str | None = None):
-        return self.catalog.create_index(table, column, kind=kind, name=name)
+        index = self.catalog.create_index(table, column, kind=kind, name=name)
+        self.schema_version += 1
+        return index
 
     def analyze(self, table: str | None = None) -> None:
         """Rebuild statistics (for one table or all)."""
@@ -123,6 +138,7 @@ class Database:
         # Compiled expressions bind UDF callables at compile time;
         # (re-)registering a name must drop them.
         self._fn_cache.clear()
+        self.schema_version += 1
 
     def has_function(self, name: str) -> bool:
         return name.lower() in self._udfs
@@ -139,6 +155,7 @@ class Database:
     def drop_function(self, name: str) -> None:
         self._udfs.pop(name.lower(), None)
         self._fn_cache.clear()
+        self.schema_version += 1
 
     # ---------------------------------------------------------------- query
 

@@ -63,6 +63,7 @@ from repro.expr.nodes import (
     Literal,
     Not,
     Or,
+    Param,
     ScalarSubquery,
     Star,
 )
@@ -354,6 +355,13 @@ class _Emitter:
             return f"{fn}({ast}, _r)"
         if isinstance(expr, Star):
             raise ExecutionError("'*' is only valid in a SELECT list")
+        if isinstance(expr, Param):
+            # ExecutionError, not CodegenUnsupported: an unbound Param
+            # must not silently fall back to the closure compiler.
+            raise ExecutionError(
+                f"unbound parameter {expr.name or expr.index!r}: "
+                "bind values before execution (see repro.expr.params)"
+            )
         raise CodegenUnsupported(f"no codegen for {type(expr).__name__}")
 
     def _emit_call(self, expr: FuncCall) -> str:

@@ -32,6 +32,7 @@ from repro.expr.nodes import (
     Literal,
     Not,
     Or,
+    Param,
     ScalarSubquery,
     Star,
 )
@@ -276,6 +277,11 @@ class ExprCompiler:
             return lambda row: inner(row) is None
         if isinstance(expr, Star):
             raise ExecutionError("'*' is only valid in a SELECT list")
+        if isinstance(expr, Param):
+            raise ExecutionError(
+                f"unbound parameter {expr.name or expr.index!r}: "
+                "bind values before execution (see repro.expr.params)"
+            )
         raise ExecutionError(f"cannot compile expression node {type(expr).__name__}")
 
     def _compile_call(self, expr: FuncCall) -> RowFn:

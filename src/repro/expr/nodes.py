@@ -66,6 +66,22 @@ class Literal(Expr):
 
 
 @dataclass(frozen=True)
+class Param(Expr):
+    """A query parameter placeholder (``?`` positional or ``:name``).
+
+    ``index`` is the zero-based binding slot; named parameters reuse
+    the slot of their first occurrence, so ``:lo ... :lo`` binds one
+    value.  Params exist only in *templates* — binding substitutes
+    them with :class:`Literal` values before planning or execution
+    (see :mod:`repro.expr.params`), so evaluators treat a surviving
+    Param as an error.
+    """
+
+    index: int
+    name: str | None = None
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expr):
     name: str
     table: str | None = None

@@ -161,6 +161,7 @@ def server_registry(server: Any) -> MetricsRegistry:
     )
     _cache_gauges(registry, "guard_cache", lambda: cell["stats"].guard_cache)
     _cache_gauges(registry, "rewrite_cache", lambda: cell["stats"].rewrite_cache)
+    _cache_gauges(registry, "plan_cache", lambda: cell["stats"].plan_cache)
     monitor = getattr(server, "slo_monitor", None)
     if monitor is not None:
         monitor.register_metrics(registry)
@@ -220,6 +221,7 @@ def cluster_registry(cluster: Any) -> MetricsRegistry:
     )
     _cache_gauges(registry, "guard_cache", lambda: cell["stats"].guard_cache)
     _cache_gauges(registry, "rewrite_cache", lambda: cell["stats"].rewrite_cache)
+    _cache_gauges(registry, "plan_cache", lambda: cell["stats"].plan_cache)
 
     def per_shard(reader):
         def collect() -> dict[tuple[tuple[str, str], ...], float]:

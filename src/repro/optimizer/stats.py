@@ -252,6 +252,11 @@ class StatsCatalog:
         self._rows_at_build: dict[str, int] = {}
         self.staleness_ratio = staleness_ratio
         self.buckets = buckets
+        # Monotonic rebuild counter: anything caching planner output
+        # (the plan cache) keys on this, so implicit staleness rebuilds
+        # inside :meth:`get` invalidate cached plans exactly like an
+        # explicit ANALYZE.
+        self.version = 0
 
     def analyze(self, table: HeapTable) -> TableStats:
         """Force a rebuild (the SQL ``ANALYZE`` equivalent)."""
@@ -259,6 +264,7 @@ class StatsCatalog:
         key = table.name.lower()
         self._stats[key] = stats
         self._rows_at_build[key] = table.row_count
+        self.version += 1
         return stats
 
     def get(self, table: HeapTable) -> TableStats:
@@ -276,3 +282,4 @@ class StatsCatalog:
     def invalidate(self, table_name: str) -> None:
         self._stats.pop(table_name.lower(), None)
         self._rows_at_build.pop(table_name.lower(), None)
+        self.version += 1

@@ -74,6 +74,10 @@ from repro.common.errors import (
     WorkerCrashedError,
 )
 from repro.core.middleware import Sieve
+from repro.expr.params import collect_params, parameterize_query
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
 from repro.obs.histogram import LatencyHistogram
 from repro.obs.slo import SLO, BurnRateMonitor, SLOSample
 from repro.obs.tracing import (
@@ -86,6 +90,13 @@ from repro.service.admission import AdaptiveShedder, AdmissionQueue, Batch, Serv
 DEFAULT_WORKERS = 4
 DEFAULT_MAX_PENDING = 1024
 DEFAULT_MAX_BATCH = 16
+#: A query shape (auto-parameterized template) seen this many times
+#: is auto-prepared: the server extracts its literals, prepares the
+#: template once, and serves further repeats through the plan cache.
+AUTO_PREPARE_THRESHOLD = 2
+#: Bound on the per-server shape-tracking map (counts + prepared
+#: handles); least-recently-created shapes age out beyond it.
+AUTO_PREPARE_MAX_SHAPES = 512
 #: Retained for signature compatibility with the reservoir-sampled
 #: latency accounting this tier used before the histogram tier:
 #: latency populations now live in bounded-by-construction
@@ -224,11 +235,12 @@ class LatencySummary:
 class ServiceStats:
     """One consistent snapshot of a server's accounting.
 
-    ``guard_cache`` / ``rewrite_cache`` are
+    ``guard_cache`` / ``rewrite_cache`` / ``plan_cache`` are
     :meth:`~repro.core.cache.CacheStats.snapshot` dicts (``hits``,
     ``misses``, ``evictions``, ``invalidations``, ``coalesced``,
-    ``hit_rate``) of the pipeline's two memoization tiers —
-    ``rewrite_cache`` is ``None`` when the middleware runs without one.
+    ``hit_rate``) of the pipeline's memoization tiers —
+    ``rewrite_cache`` / ``plan_cache`` are ``None`` when the
+    middleware runs without them.
     Serving dashboards read hit rates and rejection counts from here;
     :class:`~repro.cluster.ClusterStats` aggregates them across shards.
     """
@@ -243,6 +255,9 @@ class ServiceStats:
     queue_wait: LatencySummary = field(default_factory=LatencySummary)
     guard_cache: dict[str, float] = field(default_factory=dict)
     rewrite_cache: dict[str, float] | None = None
+    #: Prepared-query plan cache snapshot (``None`` when the server's
+    #: middleware runs without one).
+    plan_cache: dict[str, float] | None = None
     #: Rejections issued by the adaptive shedder specifically (a
     #: subset of ``rejections``; 0 when no SLO clamp is configured).
     sheds: int = 0
@@ -270,6 +285,12 @@ class ServiceStats:
             return 0.0
         return float(self.rewrite_cache.get("hit_rate", 0.0))
 
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        if not self.plan_cache:
+            return 0.0
+        return float(self.plan_cache.get("hit_rate", 0.0))
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot (dashboards, the /metrics JSON body)."""
         return {
@@ -287,6 +308,9 @@ class ServiceStats:
             "guard_cache": dict(self.guard_cache),
             "rewrite_cache": (
                 dict(self.rewrite_cache) if self.rewrite_cache is not None else None
+            ),
+            "plan_cache": (
+                dict(self.plan_cache) if self.plan_cache is not None else None
             ),
         }
 
@@ -322,6 +346,8 @@ class SieveServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         sample_capacity: int = DEFAULT_SAMPLE_CAPACITY,
         rewrite_cache_capacity: int = 256,
+        plan_cache_capacity: int = 256,
+        auto_prepare_threshold: int = AUTO_PREPARE_THRESHOLD,
         shedder: AdaptiveShedder | None = None,
     ):
         if workers <= 0:
@@ -331,6 +357,21 @@ class SieveServer:
             # Serving implies repeated traffic: memoize whole rewrites
             # (epoch-validated) so the warm path is admission + execute.
             sieve.enable_rewrite_cache(rewrite_cache_capacity)
+        if plan_cache_capacity:
+            # Same reasoning one layer deeper: repeated shapes skip
+            # parse → strategy → rewrite → plan entirely (value-keyed,
+            # epoch- and plan-version-fenced — see core.cache.PlanCache).
+            sieve.enable_plan_cache(plan_cache_capacity)
+        #: 0 disables auto-preparation (requests always take the plain
+        #: session path; explicit ``sieve.prepare`` still works).
+        self.auto_prepare_threshold = (
+            auto_prepare_threshold if plan_cache_capacity else 0
+        )
+        self._prepare_lock = threading.Lock()
+        # (querier, purpose, template_key) → seen count, and, past the
+        # threshold, → PreparedQuery.  Bounded FIFO (dict order).
+        self._shape_counts: dict[tuple, int] = {}
+        self._prepared: dict[tuple, Any] = {}
         self.workers = workers
         self._queue = AdmissionQueue(max_pending=max_pending, max_batch=max_batch)
         self._threads: list[threading.Thread] = []
@@ -740,8 +781,16 @@ class SieveServer:
             if self.inject_delay_s > 0.0:
                 time.sleep(self.inject_delay_s)
             try:
-                if request.with_info:
-                    result: Any = session.execute_with_info(request.sql)
+                auto = self._auto_prepare(request.sql, querier, purpose)
+                if auto is not None:
+                    prepared, values = auto
+                    result: Any = (
+                        prepared.execute_with_info(values)
+                        if request.with_info
+                        else prepared.execute(values)
+                    )
+                elif request.with_info:
+                    result = session.execute_with_info(request.sql)
                 else:
                     result = session.execute(request.sql)
             except BaseException as exc:  # resolve, never kill the worker
@@ -761,6 +810,53 @@ class SieveServer:
         with self._lock:
             self._batches += 1
             counters.service_batches += 1
+
+    def _auto_prepare(self, sql: Any, querier: Any, purpose: str) -> Any:
+        """``(PreparedQuery, binding values)`` for a repeated query
+        shape, or ``None`` to take the plain session path.
+
+        The server parses the request, auto-parameterizes its literals
+        (:func:`repro.expr.params.parameterize_query`) and counts the
+        resulting template per (querier, purpose).  A shape seen
+        ``auto_prepare_threshold`` times is prepared once; every later
+        repeat — same SQL or same shape with different literals —
+        executes through the plan cache.  Row- and enforcement-counter
+        identical to the plain path by construction (the cache is
+        value-keyed), so callers cannot observe the switch except in
+        latency and the zero-weight ``plan_cache_*`` counters.
+
+        Never raises: non-SELECT statements, unparseable SQL and
+        already-parameterized queries fall through so the session path
+        surfaces its usual errors.
+        """
+        if not self.auto_prepare_threshold:
+            return None
+        try:
+            query = parse_query(sql) if isinstance(sql, str) else sql
+            if not isinstance(query, Query) or collect_params(query):
+                return None
+            template, values = parameterize_query(query)
+            key = (querier, purpose, to_sql(template))
+        except Exception:
+            return None
+        with self._prepare_lock:
+            prepared = self._prepared.get(key)
+            if prepared is None:
+                count = self._shape_counts.get(key, 0) + 1
+                self._shape_counts[key] = count
+                if count < self.auto_prepare_threshold:
+                    while len(self._shape_counts) > AUTO_PREPARE_MAX_SHAPES:
+                        self._shape_counts.pop(next(iter(self._shape_counts)))
+                    return None
+        if prepared is None:
+            built = self.sieve.prepare(template, querier, purpose)
+            with self._prepare_lock:
+                # Two workers can race past the threshold; first wins.
+                prepared = self._prepared.setdefault(key, built)
+                self._shape_counts.pop(key, None)
+                while len(self._prepared) > AUTO_PREPARE_MAX_SHAPES:
+                    self._prepared.pop(next(iter(self._prepared)))
+        return prepared, values
 
     def _fail_unresolved(self, batch: Batch) -> None:
         """The crash barrier's cleanup: every request of the batch the
@@ -833,6 +929,7 @@ class SieveServer:
             failures = self._failures
             sheds = self._sheds
         rewrite_cache = self.sieve.rewrite_cache
+        plan_cache = self.sieve.plan_cache
         return ServiceStats(
             workers=self.workers,
             pending=self._queue.pending(),
@@ -850,6 +947,9 @@ class SieveServer:
             guard_cache=self.sieve.guard_cache.stats.snapshot(),
             rewrite_cache=(
                 rewrite_cache.stats.snapshot() if rewrite_cache is not None else None
+            ),
+            plan_cache=(
+                plan_cache.stats.snapshot() if plan_cache is not None else None
             ),
         )
 

@@ -31,6 +31,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    PARAM = "param"
     EOF = "eof"
 
 
@@ -115,6 +116,21 @@ def tokenize(text: str) -> list[Token]:
             tokens.append(Token(TokenType.PUNCT, ch, i))
             i += 1
             continue
+        if ch == "?":
+            # Positional parameter; value is empty, slot assigned by parser.
+            tokens.append(Token(TokenType.PARAM, "", i))
+            i += 1
+            continue
+        if ch == ":":
+            start = i
+            i += 1
+            if i < n and (text[i].isalpha() or text[i] == "_"):
+                name_start = i
+                while i < n and (text[i].isalnum() or text[i] == "_"):
+                    i += 1
+                tokens.append(Token(TokenType.PARAM, text[name_start:i], start))
+                continue
+            raise ParseError("expected parameter name after ':'", start)
         raise ParseError(f"unexpected character {ch!r}", i)
     tokens.append(Token(TokenType.EOF, "", n))
     return tokens

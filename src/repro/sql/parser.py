@@ -36,6 +36,7 @@ from repro.expr.nodes import (
     Literal,
     Not,
     Or,
+    Param,
     ScalarSubquery,
     Star,
 )
@@ -85,6 +86,10 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        # Parameter slot assignment: each `?` takes the next ordinal;
+        # `:name` reuses the slot of its first occurrence.
+        self._param_count = 0
+        self._param_slots: dict[str, int] = {}
 
     # ------------------------------------------------------------- utilities
 
@@ -420,6 +425,18 @@ class _Parser:
         if token.is_keyword("false"):
             self._advance()
             return Literal(False)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            if token.value:
+                slot = self._param_slots.get(token.value)
+                if slot is None:
+                    slot = self._param_count
+                    self._param_slots[token.value] = slot
+                    self._param_count += 1
+                return Param(slot, token.value)
+            slot = self._param_count
+            self._param_count += 1
+            return Param(slot)
         if token.type is TokenType.PUNCT and token.value == "(":
             self._advance()
             if self._cur.is_keyword("select", "with"):

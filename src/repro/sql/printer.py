@@ -29,6 +29,7 @@ from repro.expr.nodes import (
     Not,
     Or,
     And,
+    Param,
     ScalarSubquery,
     Star,
 )
@@ -248,6 +249,10 @@ def print_expr(expr: Expr, dialect: Dialect = DEFAULT_DIALECT) -> str:
     """
     if isinstance(expr, Literal):
         return dialect.render_literal(expr)
+    if isinstance(expr, Param):
+        # Positional params print in slot order (the parser assigns
+        # ordinals textually), so templates round-trip in every dialect.
+        return f":{expr.name}" if expr.name else "?"
     if isinstance(expr, ColumnRef):
         return f"{expr.table}.{expr.name}" if expr.table else expr.name
     if isinstance(expr, Star):

@@ -570,12 +570,17 @@ def test_rebalance_under_live_policy_writes(cluster_world):
 def test_service_stats_expose_cache_hit_rates_and_rejections():
     db, store, _grant, _next_id = build_world(n_rows=300)
     sieve = Sieve(db, store)
-    with SieveServer(sieve, workers=2) as server:
+    # Threshold 3 so the test can observe all three memoization tiers:
+    # repeat 1 warms the rewrite cache, repeat 2 trips auto-prepare
+    # (plan-cache miss), repeat 3 is a plan-cache hit.
+    with SieveServer(sieve, workers=2, auto_prepare_threshold=3) as server:
         sql_a = f"SELECT COUNT(*) FROM {TABLE}"
         sql_b = f"SELECT COUNT(*) FROM {TABLE} WHERE ts_date < 6"
         server.execute(sql_a, QUERIERS[0], PURPOSE, timeout=60)  # guard miss
         server.execute(sql_b, QUERIERS[0], PURPOSE, timeout=60)  # guard hit
         server.execute(sql_a, QUERIERS[0], PURPOSE, timeout=60)  # rewrite hit
+        server.execute(sql_a, QUERIERS[0], PURPOSE, timeout=60)  # auto-prepared
+        server.execute(sql_a, QUERIERS[0], PURPOSE, timeout=60)  # plan-cache hit
     stats = server.stats()
     assert stats.guard_cache["hits"] >= 1
     assert stats.guard_cache["misses"] >= 1
@@ -583,6 +588,11 @@ def test_service_stats_expose_cache_hit_rates_and_rejections():
     assert stats.rewrite_cache is not None  # the server enables it
     assert stats.rewrite_cache["hits"] >= 1
     assert stats.rewrite_cache_hit_rate > 0.0
+    assert stats.plan_cache is not None  # the server enables it
+    assert stats.plan_cache["misses"] >= 1
+    assert stats.plan_cache["hits"] >= 1
+    assert stats.plan_cache_hit_rate > 0.0
+    assert stats.to_dict()["plan_cache"]["hits"] == stats.plan_cache["hits"]
     assert stats.rejections == 0
 
 

@@ -130,6 +130,15 @@ BENCHES: tuple[GateBench, ...] = (
                    _path("speedup_exec_vectorized_vs_tuple"), "higher"),
             Metric("speedup_e2e_vectorized_vs_tuple",
                    _path("speedup_e2e_vectorized_vs_tuple"), "higher"),
+            # The prepared-query tier's bound: warm prepared e2e over
+            # exec-only time.  Ratio of same-host measurements (floor
+            # 1.0, asserted <= 1.2 in the bench itself), so an absolute
+            # band is the right tolerance shape.
+            Metric("prepared.ratio_warm_vs_exec",
+                   _path("prepared.ratio_warm_vs_exec"), "lower", abs_tol=0.15),
+            Metric("prepared.speedup_vs_unprepared_pipeline",
+                   _path("prepared.speedup_vs_unprepared_pipeline"), "higher",
+                   rel_tol=0.30),
         ),
     ),
     GateBench(
